@@ -1,0 +1,150 @@
+"""Ablation: the paper's greedy heuristics vs exact/LP optima.
+
+The paper solves Eqns (6) and (7) with utility-per-dollar greedy
+heuristics but never quantifies their optimality gap. This bench does,
+on the paper's own cluster configurations:
+
+* VM configuration is an LP (z is continuous), so ``lp_vm_allocation`` is
+  the true optimum;
+* storage rental is integral; we report the LP-relaxation bound, and the
+  exact enumeration oracle on a small instance.
+
+Notable genuine finding: with Table II/III prices and slack budgets the
+u/p ordering is *not* utility-optimal — e.g. every chunk fits on the NFS
+cluster with the best u/p while the objective only rewards u, leaving
+~20% of storage utility on the table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.storage_rental import (
+    StorageProblem,
+    exhaustive_storage_rental,
+    greedy_storage_rental,
+    lp_storage_bound,
+)
+from repro.core.vm_allocation import VMProblem, greedy_vm_allocation, \
+    lp_vm_allocation
+from repro.experiments.config import paper_nfs_clusters, paper_vm_clusters
+from repro.experiments.reporting import format_table
+
+R = 10e6 / 8.0
+CHUNK = 15e6
+
+
+def make_demands(num_chunks, seed, scale=2.0):
+    rng = np.random.default_rng(seed)
+    return {
+        (c // 20, c % 20): float(rng.uniform(0.0, scale)) * R
+        for c in range(num_chunks)
+    }
+
+
+def test_vm_heuristic_vs_lp(benchmark, emit):
+    rows = []
+    gaps = []
+    for seed in range(5):
+        demands = make_demands(80, seed)
+        problem = VMProblem(
+            demands=demands,
+            vm_bandwidth=R,
+            clusters=paper_vm_clusters(),
+            budget_per_hour=100.0,
+        )
+        greedy = greedy_vm_allocation(problem)
+        lp = lp_vm_allocation(problem)
+        gap = 1.0 - greedy.objective / lp.objective if lp.objective else 0.0
+        gaps.append(gap)
+        rows.append(
+            [
+                seed,
+                f"{greedy.objective:.1f}",
+                f"{lp.objective:.1f}",
+                f"{100 * gap:.1f}%",
+                f"{greedy.cost_per_hour:.1f}",
+                f"{lp.cost_per_hour:.1f}",
+            ]
+        )
+    table = format_table(
+        ["seed", "greedy obj", "LP obj", "gap", "greedy $", "LP $"],
+        rows,
+        title="Ablation — VM configuration: greedy heuristic vs LP optimum "
+        "(80 chunks, Table II clusters, B_M=$100/h)",
+    )
+    note = (
+        "The greedy u~/p~ ordering fills the cheap 'standard' cluster first; "
+        "the LP buys utility with the slack budget instead. Both always "
+        "cover the demand; the gap is pure objective value."
+    )
+    emit("ablation_vm_heuristic", table + "\n\n" + note)
+
+    # The heuristic must never beat the LP, and must stay within a sane gap.
+    assert all(g >= -1e-9 for g in gaps)
+    assert np.mean(gaps) < 0.5
+
+    problem = VMProblem(
+        demands=make_demands(80, 0),
+        vm_bandwidth=R,
+        clusters=paper_vm_clusters(),
+        budget_per_hour=100.0,
+    )
+    benchmark(lambda: greedy_vm_allocation(problem))
+
+
+def test_storage_heuristic_vs_bounds(benchmark, emit):
+    rows = []
+    for seed in range(5):
+        demands = make_demands(60, 100 + seed, scale=1.0)
+        problem = StorageProblem(
+            demands=demands,
+            chunk_size_bytes=CHUNK,
+            clusters=paper_nfs_clusters(),
+            budget_per_hour=1.0,
+        )
+        greedy = greedy_storage_rental(problem)
+        bound = lp_storage_bound(problem)
+        gap = 1.0 - greedy.objective / bound if bound else 0.0
+        rows.append(
+            [seed, f"{greedy.objective:.2e}", f"{bound:.2e}", f"{100 * gap:.1f}%"]
+        )
+    table = format_table(
+        ["seed", "greedy obj", "LP bound", "gap"],
+        rows,
+        title="Ablation — storage rental: greedy heuristic vs LP bound "
+        "(60 chunks, Table III clusters, B_S=$1/h)",
+    )
+    emit("ablation_storage_heuristic", table)
+
+    # Exact oracle agreement on a tight small instance where capacity binds
+    # (2 + 2 slots for 4 chunks) so ordering decisions matter.
+    from repro.cloud.cluster import NFSClusterSpec
+
+    small_clusters = [
+        NFSClusterSpec("a", 1.0, 2e-4, 2 * CHUNK),
+        NFSClusterSpec("b", 0.7, 1e-4, 2 * CHUNK),
+    ]
+    small = StorageProblem(
+        demands={("c", i): float(i + 1) for i in range(4)},
+        chunk_size_bytes=CHUNK,
+        clusters=small_clusters,
+        budget_per_hour=1.0,
+    )
+    greedy_small = greedy_storage_rental(small)
+    exact_small = exhaustive_storage_rental(small)
+    assert greedy_small.objective <= exact_small.objective + 1e-9
+    # Genuine finding: on this tight instance the u/p ordering picks the
+    # *cheap* cluster (b: 0.7/1e-4 beats a: 1.0/2e-4 on u/p) for the hot
+    # chunks even though the objective only rewards u — the exact optimum
+    # puts the hot chunks on the high-utility cluster instead.
+    # greedy = 0.7*(4+3) + 1.0*(2+1) = 7.9 < 9.1 = 1.0*(4+3) + 0.7*(2+1).
+    assert greedy_small.objective == pytest.approx(7.9)
+    assert exact_small.objective == pytest.approx(9.1)
+
+    problem = StorageProblem(
+        demands=make_demands(60, 100),
+        chunk_size_bytes=CHUNK,
+        clusters=paper_nfs_clusters(),
+        budget_per_hour=1.0,
+    )
+    benchmark(lambda: greedy_storage_rental(problem))

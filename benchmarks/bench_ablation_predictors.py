@@ -1,0 +1,80 @@
+"""Ablation: demand predictors (paper Section V-B's future-work knob).
+
+The paper provisions from last-interval statistics and notes that "more
+accurate prediction methods based on historical data ... can be applied
+for better performance". This bench runs the same diurnal flash-crowd day
+under the last-interval rule, a 3-interval moving average, and an EWMA,
+and compares quality and cost.
+
+Timed kernel: a predictor sweep over a day of observations.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import (
+    EWMAPredictor,
+    LastIntervalPredictor,
+    MovingAveragePredictor,
+    SeasonalPredictor,
+)
+from repro.experiments.config import scenario_from_env
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_closed_loop
+
+PREDICTORS = {
+    "last-interval (paper)": lambda: LastIntervalPredictor(),
+    "moving-average(3)": lambda: MovingAveragePredictor(window=3),
+    "ewma(0.5)": lambda: EWMAPredictor(beta=0.5),
+    "seasonal(24h, 0.5)": lambda: SeasonalPredictor(period=24, blend=0.5),
+}
+
+
+@pytest.fixture(scope="module")
+def predictor_results():
+    horizon = 48.0 if os.environ.get("REPRO_FULL") else 12.0
+    results = {}
+    for name, factory in PREDICTORS.items():
+        scenario = scenario_from_env("client-server", horizon_hours=horizon)
+        results[name] = run_closed_loop(scenario, predictor=factory())
+    return results
+
+
+def test_predictor_ablation(benchmark, predictor_results, emit):
+    rows = []
+    for name, result in predictor_results.items():
+        shortfalls = [s.shortfall for s in result.simulation.bandwidth]
+        rows.append(
+            [
+                name,
+                f"{result.average_quality:.3f}",
+                f"{result.mean_vm_cost_per_hour:.2f}",
+                f"{np.mean(result.provisioned_mbps()):.0f}",
+                f"{np.mean(shortfalls) * 8 / 1e6:.1f}",
+            ]
+        )
+    table = format_table(
+        ["predictor", "quality", "VM $/h", "reserved Mbps", "shortfall Mbps"],
+        rows,
+        title="Ablation — arrival-rate predictors on the diurnal workload",
+    )
+    emit("ablation_predictors", table)
+
+    qualities = [r.average_quality for r in predictor_results.values()]
+    assert all(q >= 0.85 for q in qualities)
+
+    # Timed kernel: a predictor update/predict sweep.
+    observations = np.abs(np.sin(np.linspace(0, 6.28, 24))) + 0.1
+
+    def sweep():
+        predictor = EWMAPredictor(beta=0.5)
+        total = 0.0
+        for channel in range(20):
+            for rate in observations:
+                predictor.observe(channel, float(rate))
+                total += predictor.predict(channel)
+        return total
+
+    benchmark(sweep)

@@ -1,0 +1,67 @@
+"""Fig 4: cloud capacity provisioning vs usage over time.
+
+Paper: over ~100 hours, the reserved bandwidth stays above the used
+bandwidth in the vast majority of intervals for both modes, and the P2P
+mode's reserved/used levels sit far below the client-server mode's.
+
+The timed kernel is the controller's recurring hourly computation — the
+full Section IV demand analysis for one channel — since that is the
+operation whose cost scales with the catalogue.
+"""
+
+import numpy as np
+
+from repro.experiments.config import scenario_from_env
+from repro.experiments.figures import fig4_capacity_provisioning
+from repro.experiments.reporting import downsample, format_table
+from repro.queueing.capacity import solve_channel_capacity
+
+
+def test_fig04_capacity_provisioning(benchmark, cs_result, p2p_result, emit):
+    data = fig4_capacity_provisioning(cs_result, p2p_result)
+
+    rows = []
+    idx = [int(i) for i in np.linspace(0, data["hours"].size - 1, 12)]
+    for i in idx:
+        rows.append(
+            [
+                f"{data['hours'][i]:.0f}",
+                f"{data['cs_reserved_mbps'][i]:.0f}",
+                f"{data['cs_used_mbps'][i]:.0f}",
+                f"{data['p2p_reserved_mbps'][i]:.0f}",
+                f"{data['p2p_used_mbps'][i]:.0f}",
+            ]
+        )
+    table = format_table(
+        ["hour", "C/S reserved", "C/S used", "P2P reserved", "P2P used"],
+        rows,
+        title="Fig 4 — cloud capacity provisioning vs usage (Mbps)",
+    )
+    covered_cs = float(
+        np.mean(data["cs_reserved_mbps"] >= data["cs_used_mbps"])
+    )
+    covered_p2p = float(
+        np.mean(data["p2p_reserved_mbps"] >= data["p2p_used_mbps"])
+    )
+    summary = (
+        f"reserved >= used: C/S {100 * covered_cs:.0f}% of intervals, "
+        f"P2P {100 * covered_p2p:.0f}% of intervals\n"
+        f"mean reserved: C/S {data['cs_reserved_mbps'].mean():.0f} Mbps, "
+        f"P2P {data['p2p_reserved_mbps'].mean():.0f} Mbps "
+        f"(P2P/CS = {data['p2p_reserved_mbps'].mean() / data['cs_reserved_mbps'].mean():.2f})"
+    )
+    emit("fig04_capacity_provisioning", table + "\n\n" + summary)
+
+    # Paper shape assertions.
+    assert covered_cs >= 0.8
+    assert covered_p2p >= 0.8
+    assert data["p2p_reserved_mbps"].mean() < data["cs_reserved_mbps"].mean()
+    assert data["p2p_used_mbps"].mean() < data["cs_used_mbps"].mean()
+
+    # Timed kernel: one channel's hourly capacity analysis.
+    scenario = cs_result.scenario
+    model = scenario.capacity_model()
+    behaviour = scenario.behaviour_matrix()
+    rate = scenario.total_arrival_rate() / scenario.num_channels
+
+    benchmark(lambda: solve_channel_capacity(model, behaviour, rate, alpha=0.8))

@@ -1,0 +1,51 @@
+"""Fig 6: channel streaming quality vs channel size (client-server).
+
+Paper: quality is high regardless of channel size — the provisioning
+scales capacity with each channel's population, so big channels are not
+worse off than small ones.
+
+Timed kernel: extracting the scatter from the recorded samples.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig6_quality_vs_channel_size
+from repro.experiments.reporting import format_table
+
+
+def test_fig06_quality_vs_channel_size(benchmark, cs_result, emit):
+    data = fig6_quality_vs_channel_size(cs_result)
+    sizes = data["channel_size"]
+    quality = data["quality"]
+    assert sizes.size > 0
+
+    # Bucket the scatter by channel size for a printable view.
+    edges = np.quantile(sizes, [0.0, 0.25, 0.5, 0.75, 1.0])
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (sizes >= lo) & (sizes <= hi)
+        if mask.any():
+            rows.append(
+                [
+                    f"{lo:.0f}-{hi:.0f}",
+                    int(mask.sum()),
+                    f"{quality[mask].mean():.3f}",
+                    f"{quality[mask].min():.3f}",
+                ]
+            )
+    table = format_table(
+        ["channel size", "samples", "mean quality", "min quality"],
+        rows,
+        title="Fig 6 — streaming quality vs channel size (client-server)",
+    )
+    emit("fig06_quality_vs_size", table)
+
+    # Paper shape: good quality across the size range; in particular the
+    # largest channels are not systematically degraded.
+    big = sizes >= np.median(sizes)
+    small = sizes < np.median(sizes)
+    if big.any() and small.any():
+        assert quality[big].mean() >= quality[small].mean() - 0.1
+    assert quality.mean() >= 0.9
+
+    benchmark(lambda: fig6_quality_vs_channel_size(cs_result))

@@ -1,0 +1,61 @@
+"""Fig 7: provisioned cloud bandwidth vs channel size.
+
+Paper: client-server bandwidth grows linearly with the number of users in
+a channel, while P2P bandwidth "scales very well" (stays nearly flat) —
+the peer swarm absorbs the growth.
+
+Timed kernel: the P2P peer-contribution computation (Eqn (5)), which is
+the extra per-channel work the P2P controller does each interval.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig7_bandwidth_vs_channel_size
+from repro.experiments.reporting import format_table
+from repro.p2p.contribution import peer_contribution
+
+
+def test_fig07_bandwidth_vs_channel_size(benchmark, cs_result, p2p_result, emit):
+    cs = fig7_bandwidth_vs_channel_size(cs_result)
+    p2p = fig7_bandwidth_vs_channel_size(p2p_result)
+
+    def buckets(data):
+        sizes, bw = data["channel_size"], data["bandwidth_mbps"]
+        edges = np.quantile(sizes, [0.0, 0.34, 0.67, 1.0])
+        out = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            mask = (sizes >= lo) & (sizes <= hi)
+            if mask.any():
+                out.append((f"{lo:.0f}-{hi:.0f}", float(bw[mask].mean())))
+        return out
+
+    rows = []
+    for (label, cs_bw), (_, p2p_bw) in zip(buckets(cs), buckets(p2p)):
+        rows.append([label, f"{cs_bw:.0f}", f"{p2p_bw:.0f}"])
+    table = format_table(
+        ["channel size", "C/S bandwidth (Mbps)", "P2P bandwidth (Mbps)"],
+        rows,
+        title="Fig 7 — provisioned bandwidth vs channel size",
+    )
+    emit("fig07_bandwidth_vs_size", table)
+
+    # Paper shape: C/S grows with size; P2P stays below C/S and grows
+    # more slowly (flat-ish).
+    cs_b = buckets(cs)
+    p2p_b = buckets(p2p)
+    assert cs_b[-1][1] >= cs_b[0][1]  # C/S monotone-ish growth
+    assert p2p_b[-1][1] <= cs_b[-1][1]  # P2P under C/S at the big end
+    # Relative growth from the small to the big bucket is milder for P2P.
+    cs_growth = cs_b[-1][1] - cs_b[0][1]
+    p2p_growth = p2p_b[-1][1] - p2p_b[0][1]
+    assert p2p_growth <= cs_growth + 1e-9
+
+    servers = np.arange(1.0, 21.0)
+    owners = np.linspace(5.0, 200.0, 20)
+    in_system = np.linspace(2.0, 40.0, 20)
+    benchmark(
+        lambda: peer_contribution(
+            servers, owners, 400.0, peer_upload=45_000.0,
+            streaming_rate=50_000.0, in_system=in_system,
+        )
+    )

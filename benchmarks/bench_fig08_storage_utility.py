@@ -1,0 +1,61 @@
+"""Fig 8: evolution of aggregate storage utility in representative channels.
+
+Paper: the storage heuristic adapts placements to popularity, so each
+channel's aggregate storage utility (sum u_f * Delta_i over its chunks)
+tracks its demand over the day, with bigger channels carrying more
+utility.
+
+Timed kernel: one full storage-rental heuristic solve over the catalogue.
+"""
+
+import numpy as np
+
+from repro.core.demand import aggregate_demand
+from repro.core.storage_rental import StorageProblem, greedy_storage_rental
+from repro.experiments.figures import fig8_storage_utility
+from repro.experiments.reporting import format_table
+
+
+def test_fig08_storage_utility(benchmark, p2p_result, emit):
+    num_channels = p2p_result.scenario.num_channels
+    # Representative channels across the popularity range (the paper picks
+    # average sizes 60/100/200/600; we take the Zipf spread we have).
+    channel_ids = sorted({0, num_channels // 2, num_channels - 1})
+    data = fig8_storage_utility(p2p_result, channel_ids)
+
+    rows = []
+    idx = [int(i) for i in np.linspace(0, data["hours"].size - 1, 10)]
+    for i in idx:
+        rows.append(
+            [f"{data['hours'][i]:.0f}"]
+            + [f"{data[f'channel_{c}'][i]:.1f}" for c in channel_ids]
+        )
+    table = format_table(
+        ["hour"] + [f"ch{c} utility" for c in channel_ids],
+        rows,
+        title="Fig 8 — aggregate storage utility per channel "
+        "(utility x demand, in streaming-rate units)",
+    )
+    emit("fig08_storage_utility", table)
+
+    # Shape: utilities are positive and respond to demand over the day
+    # (adaptive placement), for every tracked channel. Note a genuine
+    # deviation from the paper's Fig 8 ordering: in P2P mode the *cloud*
+    # demand Delta of a popular channel is lower (more peers to offload
+    # to), so its storage utility need not dominate — see EXPERIMENTS.md.
+    for c in channel_ids:
+        series = data[f"channel_{c}"]
+        assert np.all(series >= 0.0)
+        assert series.max() > 0.0
+    popular = data[f"channel_{channel_ids[0]}"]
+    assert popular.max() > popular.min()  # placement adapts over the day
+
+    # Timed kernel: one storage heuristic solve on the live demand.
+    demand = aggregate_demand(p2p_result.decisions[-1].demands)
+    problem = StorageProblem(
+        demands=demand,
+        chunk_size_bytes=p2p_result.scenario.constants.chunk_size_bytes,
+        clusters=p2p_result.scenario.nfs_clusters(),
+        budget_per_hour=1.0,
+    )
+    benchmark(lambda: greedy_storage_rental(problem))

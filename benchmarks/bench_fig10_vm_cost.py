@@ -1,0 +1,63 @@
+"""Fig 10: evolution of the overall VM rental cost.
+
+Paper: client-server averages ~$48/h and swings with the user population;
+P2P averages ~$4.27/h — roughly an order of magnitude cheaper. The text
+adds that NFS storage costs ~$0.018/day, i.e. negligible next to VMs.
+
+Timed kernel: the billing meter's accrue-and-report path over a day of
+level changes.
+"""
+
+import numpy as np
+
+from repro.cloud.billing import BillingMeter
+from repro.experiments.figures import fig10_vm_cost
+from repro.experiments.reporting import format_table
+
+
+def test_fig10_vm_cost(benchmark, cs_result, p2p_result, emit):
+    data = fig10_vm_cost(cs_result, p2p_result)
+
+    rows = []
+    idx = [int(i) for i in np.linspace(0, data["cs_hours"].size - 1, 10)]
+    for i in idx:
+        rows.append(
+            [
+                f"{data['cs_hours'][i]:.0f}",
+                f"{data['cs_cost_per_hour'][i]:.2f}",
+                f"{data['p2p_cost_per_hour'][i]:.2f}",
+            ]
+        )
+    table = format_table(
+        ["hour", "C/S cost ($/h)", "P2P cost ($/h)"],
+        rows,
+        title="Fig 10 — overall VM rental cost",
+    )
+    ratio = data["p2p_average"] / max(data["cs_average"], 1e-9)
+    summary = (
+        f"averages: C/S ${data['cs_average']:.2f}/h, "
+        f"P2P ${data['p2p_average']:.2f}/h (P2P/CS = {ratio:.2f}; "
+        "paper: $48 vs $4.27, ratio 0.09)\n"
+        f"storage: C/S ${data['cs_storage_cost_per_day']:.4f}/day, "
+        f"P2P ${data['p2p_storage_cost_per_day']:.4f}/day "
+        "(paper: ~$0.018/day, negligible)"
+    )
+    emit("fig10_vm_cost", table + "\n\n" + summary)
+
+    # Paper shape: P2P strictly cheaper; storage negligible vs VM cost.
+    assert data["p2p_average"] < data["cs_average"]
+    assert data["cs_storage_cost_per_day"] < 0.01 * 24 * data["cs_average"]
+
+    # Timed kernel: a day of hourly billing-level changes + final report.
+    specs = {s.name: s for s in cs_result.scenario.vm_clusters()}
+    nfs = {s.name: s for s in cs_result.scenario.nfs_clusters()}
+
+    def billing_day():
+        meter = BillingMeter(specs, nfs)
+        for hour in range(24):
+            meter.record_vm_usage(
+                hour * 3600.0, {name: (hour % 7) for name in specs}
+            )
+        return meter.report(24 * 3600.0).total_cost
+
+    benchmark(billing_day)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the figure-reproduction benches.
+
+The closed-loop runs are expensive, so they are computed once per session
+and shared by every bench. Default scale is CI-sized (12 simulated hours,
+4 channels); set ``REPRO_FULL=1`` for the paper-scale run (100 simulated
+hours, 20 channels, ~2500 users — expect several minutes per mode).
+
+Each bench prints its figure's series (run pytest with ``-s`` to see them
+inline) and writes them to ``benchmarks/results/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import scenario_from_env
+from repro.experiments.runner import run_closed_loop
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _horizon_hours() -> float:
+    return 100.0 if os.environ.get("REPRO_FULL", "").strip() in ("1", "true") else 12.0
+
+
+@pytest.fixture(scope="session")
+def cs_result():
+    """Closed-loop client-server run shared by the benches."""
+    scenario = scenario_from_env("client-server", horizon_hours=_horizon_hours())
+    return run_closed_loop(scenario)
+
+
+@pytest.fixture(scope="session")
+def p2p_result():
+    """Closed-loop P2P run shared by the benches."""
+    scenario = scenario_from_env("p2p", horizon_hours=_horizon_hours())
+    return run_closed_loop(scenario)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir, capsys):
+    """Print a figure report and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

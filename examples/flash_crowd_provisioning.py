@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Flash crowds: watch the controller chase a diurnal demand wave.
+
+The paper's synthetic workload has two daily flash crowds (noon and
+evening). This example runs a one-day client-server scenario and prints,
+hour by hour, the measured arrivals, the provisioned cloud bandwidth, the
+actually-used bandwidth, and the streaming quality — making the
+last-interval predictor's lag and the provisioning headroom visible.
+
+It then re-runs the same day with an EWMA predictor to show the extension
+the paper leaves as future work.
+
+Run:  python examples/flash_crowd_provisioning.py
+"""
+
+import numpy as np
+
+from repro.core.predictor import EWMAPredictor
+from repro.experiments.config import small_scenario
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_closed_loop
+
+
+def hour_table(result) -> str:
+    rows = []
+    quality_by_hour = {}
+    times, quality = result.simulation.quality.quality_series()
+    for t, q in zip(times, quality):
+        quality_by_hour.setdefault(int(t // 3600), []).append(q)
+    for k, t in enumerate(result.interval_times):
+        hour = int(t // 3600) - 1
+        rows.append(
+            [
+                hour + 1,
+                result.population_series[k],
+                f"{result.provisioned_mbps()[k]:.0f}",
+                f"{result.used_mbps()[k]:.0f}",
+                f"{np.mean(quality_by_hour.get(hour, [1.0])):.3f}",
+            ]
+        )
+    return format_table(
+        ["hour", "viewers", "reserved (Mbps)", "used (Mbps)", "quality"], rows
+    )
+
+
+def main() -> None:
+    import dataclasses
+
+    scenario = small_scenario(
+        "client-server", horizon_hours=24.0, target_population=300
+    )
+    # The default CI-sized cluster saturates at this population; give the
+    # cloud enough headroom that the provisioning dynamics stay visible.
+    scenario = dataclasses.replace(scenario, cluster_scale=1.0)
+    print("One simulated day, last-interval predictor (the paper's rule):\n")
+    base = run_closed_loop(scenario)
+    print(hour_table(base))
+    print(
+        f"\n  day average: quality {base.average_quality:.3f}, "
+        f"VM cost ${base.mean_vm_cost_per_hour:.2f}/h"
+    )
+
+    print("\nSame day, EWMA predictor (beta = 0.4) — smoother scaling:\n")
+    ewma = run_closed_loop(scenario, predictor=EWMAPredictor(beta=0.4))
+    print(hour_table(ewma))
+    print(
+        f"\n  day average: quality {ewma.average_quality:.3f}, "
+        f"VM cost ${ewma.mean_vm_cost_per_hour:.2f}/h"
+    )
+
+    print(
+        "\nNote how reservations swell into the noon and evening crowds and "
+        "drain overnight; the EWMA variant reacts more slowly but rides out "
+        "single-interval spikes."
+    )
+
+
+if __name__ == "__main__":
+    main()

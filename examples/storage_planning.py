@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Storage and VM rental planning on the paper's full catalogue.
+
+Builds the complete paper-scale demand profile (20 channels x 20 chunks,
+Zipf popularity, Section IV analysis), then solves both Section V
+optimization problems with the paper's heuristics and compares them
+against the LP bounds:
+
+* storage rental (Eqn (6)) over the Table III NFS clusters under B_S = $1/h;
+* VM configuration (Eqn (7)) over the Table II virtual clusters under
+  B_M = $100/h, including the consecutive-chunk VM packing.
+
+Run:  python examples/storage_planning.py
+"""
+
+import numpy as np
+
+from repro.core.packing import pack_allocations
+from repro.core.storage_rental import (
+    StorageProblem,
+    greedy_storage_rental,
+    lp_storage_bound,
+)
+from repro.core.vm_allocation import VMProblem, greedy_vm_allocation, \
+    lp_vm_allocation
+from repro.p2p.contribution import solve_p2p_channel_capacity
+from repro.experiments.config import (
+    PAPER,
+    paper_capacity_model,
+    paper_nfs_clusters,
+    paper_vm_clusters,
+)
+from repro.experiments.reporting import format_table, mbps
+from repro.queueing.capacity import solve_channel_capacity
+from repro.vod.channel import default_behaviour_matrix
+from repro.workload.zipf import assign_channel_rates
+
+
+def build_demands(
+    total_rate: float = 0.4,
+    mode: str = "client-server",
+    num_channels: int = PAPER.num_channels,
+):
+    """Per-chunk cloud demand for a catalogue of paper-style channels."""
+    model = paper_capacity_model()
+    behaviour = default_behaviour_matrix(PAPER.chunks_per_channel)
+    rates = assign_channel_rates(total_rate, num_channels, 0.8)
+    demands = {}
+    for channel, rate in enumerate(rates):
+        if mode == "p2p":
+            result = solve_p2p_channel_capacity(
+                model, behaviour, float(rate),
+                peer_upload=0.9 * model.streaming_rate, alpha=0.8,
+            )
+            deltas = result.cloud_demand
+        else:
+            deltas = solve_channel_capacity(
+                model, behaviour, float(rate), alpha=0.8
+            ).cloud_demand
+        for i, delta in enumerate(deltas):
+            demands[(channel, i)] = float(delta)
+    return model, demands
+
+
+def main() -> None:
+    model, demands = build_demands()
+    total = sum(demands.values())
+    print(
+        f"catalogue: {PAPER.num_channels} channels x "
+        f"{PAPER.chunks_per_channel} chunks, total cloud demand "
+        f"{mbps(total):.0f} Mbps\n"
+    )
+
+    # ------------------------------------------------------------------
+    # Storage rental.
+    # ------------------------------------------------------------------
+    storage_problem = StorageProblem(
+        demands=demands,
+        chunk_size_bytes=model.chunk_size_bytes,
+        clusters=paper_nfs_clusters(),
+        budget_per_hour=PAPER.storage_budget_per_hour,
+    )
+    plan = greedy_storage_rental(storage_problem)
+    bound = lp_storage_bound(storage_problem)
+    print("Storage rental (Eqn (6)) — greedy heuristic vs LP bound")
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["chunks placed", len(plan.placement)],
+                ["feasible", plan.feasible],
+                ["objective (u_f * Delta)", plan.objective],
+                ["LP relaxation bound", bound],
+                ["optimality gap", f"{100 * (1 - plan.objective / bound):.2f}%"],
+                ["cost ($/h)", f"{plan.cost_per_hour:.5f}"],
+                ["cost ($/day)", f"{24 * plan.cost_per_hour:.4f}"],
+            ],
+        )
+    )
+    loads = plan.cluster_loads()
+    print(f"  placement: {loads}")
+    print(
+        "  note: with Table III prices the 'standard' cluster dominates on "
+        "utility-per-dollar,\n  so the paper's u/p-sorted heuristic fills it "
+        "first even though the budget is slack —\n  the LP bound shows the "
+        "~20% utility left on the table (see the ablation bench).\n"
+    )
+
+    # ------------------------------------------------------------------
+    # VM configuration + packing. P2P demands over a 6-channel slice are
+    # used here because their Delta_i are genuinely fractional in VM
+    # units (client-server demands are exact multiples of R), which is
+    # what exercises VM sharing. The full 20-channel client-server
+    # catalogue needs >= one VM per chunk (400 VMs) and is *infeasible*
+    # against Table II's 150 — the paper's "budget should be increased"
+    # signal, which the plan's feasible flag reports.
+    # ------------------------------------------------------------------
+    _, p2p_demands = build_demands(
+        total_rate=0.3, mode="p2p", num_channels=6
+    )
+    vm_problem = VMProblem(
+        demands=p2p_demands,
+        vm_bandwidth=model.vm_bandwidth,
+        clusters=paper_vm_clusters(),
+        budget_per_hour=PAPER.vm_budget_per_hour,
+    )
+    vm_plan = greedy_vm_allocation(vm_problem)
+    lp_plan = lp_vm_allocation(vm_problem)
+    packing = pack_allocations(vm_plan.allocations)
+    print("VM configuration (Eqn (7)) — greedy heuristic vs LP optimum")
+    print(
+        format_table(
+            ["quantity", "greedy", "LP optimum"],
+            [
+                ["feasible", vm_plan.feasible, lp_plan.feasible],
+                ["objective (u~_v * z)", vm_plan.objective, lp_plan.objective],
+                ["cost ($/h)", vm_plan.cost_per_hour, lp_plan.cost_per_hour],
+                [
+                    "VMs rented",
+                    sum(vm_plan.integer_vm_counts().values()),
+                    sum(lp_plan.integer_vm_counts().values()),
+                ],
+            ],
+        )
+    )
+    print(
+        f"\n  packing: {packing.total_vms} VMs, {packing.shared_vms} shared, "
+        f"{packing.cross_channel_vms} serving multiple channels "
+        f"(mean load {packing.mean_load:.2f})"
+    )
+    print(
+        "  shared VMs carry consecutive chunks of one channel whenever "
+        "possible, minimizing VM switches during playback (footnote 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

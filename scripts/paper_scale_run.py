@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Run the paper-scale (Fig 4) scenario in both modes and summarize.
+
+Writes the summary used by EXPERIMENTS.md. Horizon defaults to 100
+simulated hours; pass a number of hours as the first argument to shorten.
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments.config import paper_scenario
+from repro.experiments.figures import fig7_bandwidth_vs_channel_size
+from repro.experiments.runner import run_closed_loop
+
+
+def main() -> None:
+    horizon = float(sys.argv[1]) if len(sys.argv) > 1 else 100.0
+    results = {}
+    for mode in ("client-server", "p2p"):
+        t0 = time.time()
+        res = run_closed_loop(paper_scenario(mode, horizon_hours=horizon))
+        results[mode] = res
+        times, quality = res.simulation.quality.quality_series()
+        hours = times / 3600
+        cov = np.mean(
+            np.array(res.provisioned_series) >= np.array(res.used_series)
+        )
+        print(f"{mode} paper {horizon:.0f}h: {time.time() - t0:.0f}s wall")
+        print(
+            f"  quality: all={res.average_quality:.3f} "
+            f"after6h={quality[hours > 6].mean():.3f}"
+        )
+        print(
+            f"  vm $/h={res.mean_vm_cost_per_hour:.2f} "
+            f"storage $/day={res.cost_report.hourly_storage_cost * 24:.4f}"
+        )
+        print(
+            f"  reserved={np.mean(res.provisioned_mbps()):.0f} Mbps "
+            f"used={np.mean(res.used_mbps()):.0f} Mbps "
+            f"peer={np.mean(res.peer_series) * 8 / 1e6:.0f} Mbps "
+            f"pop_final={res.simulation.final_population}"
+        )
+        print(f"  reserved>=used in {100 * cov:.0f}% of intervals")
+
+    cs, p2p = results["client-server"], results["p2p"]
+    print(
+        "cost ratio p2p/cs = "
+        f"{p2p.mean_vm_cost_per_hour / cs.mean_vm_cost_per_hour:.2f}"
+    )
+    for name, res in results.items():
+        data = fig7_bandwidth_vs_channel_size(res)
+        sizes, bw = data["channel_size"], data["bandwidth_mbps"]
+        big = sizes >= np.quantile(sizes, 0.8)
+        small = sizes <= np.quantile(sizes, 0.2)
+        print(
+            f"fig7 {name}: small-channel bw={bw[small].mean():.0f} "
+            f"big-channel bw={bw[big].mean():.0f} "
+            f"(growth x{bw[big].mean() / max(bw[small].mean(), 1e-9):.1f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

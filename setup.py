@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (no-network environments).
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation --no-use-pep517`` where the
+``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze``
+    Run the Section IV capacity analysis for one channel and print the
+    per-chunk arrival rates, server counts and cloud demand.
+``trace``
+    Generate a synthetic workload trace (Section VI-A) and write it to
+    JSON.
+``run``
+    Run a closed-loop scenario end to end and print the summary.
+``info``
+    Print the paper's configuration (Tables II/III, constants, budgets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.experiments.config import (
+    PAPER,
+    paper_capacity_model,
+    paper_nfs_clusters,
+    paper_vm_clusters,
+    paper_scenario,
+    small_scenario,
+)
+from repro.experiments.reporting import format_table, mbps
+from repro.p2p.contribution import solve_p2p_channel_capacity
+from repro.queueing.capacity import solve_channel_capacity
+from repro.vod.channel import default_behaviour_matrix
+from repro.workload.trace import TraceConfig, generate_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CloudMedia (ICDCS 2011) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="one-channel capacity analysis")
+    analyze.add_argument("--chunks", type=int, default=20)
+    analyze.add_argument("--rate", type=float, default=0.1,
+                         help="channel arrival rate, users/second")
+    analyze.add_argument("--alpha", type=float, default=0.8)
+    analyze.add_argument("--mode", choices=["client-server", "p2p"],
+                         default="client-server")
+    analyze.add_argument("--peer-upload-ratio", type=float, default=0.9,
+                         help="mean peer upload / streaming rate (p2p mode)")
+
+    trace = sub.add_parser("trace", help="generate a synthetic trace")
+    trace.add_argument("output", help="output JSON path")
+    trace.add_argument("--channels", type=int, default=20)
+    trace.add_argument("--chunks", type=int, default=20)
+    trace.add_argument("--hours", type=float, default=24.0)
+    trace.add_argument("--rate", type=float, default=1.0,
+                       help="mean total arrival rate, users/second")
+    trace.add_argument("--seed", type=int, default=2011)
+
+    run = sub.add_parser("run", help="run a closed-loop scenario")
+    run.add_argument("--mode", choices=["client-server", "p2p"], default="p2p")
+    run.add_argument("--hours", type=float, default=12.0)
+    run.add_argument("--scale", choices=["small", "paper"], default="small")
+    run.add_argument("--seed", type=int, default=2011)
+
+    sub.add_parser("info", help="print the paper's configuration")
+    return parser
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    model = paper_capacity_model()
+    behaviour = default_behaviour_matrix(args.chunks)
+    if args.mode == "p2p":
+        result = solve_p2p_channel_capacity(
+            model,
+            behaviour,
+            args.rate,
+            peer_upload=args.peer_upload_ratio * model.streaming_rate,
+            alpha=args.alpha,
+        )
+        servers = result.servers
+        demand = result.cloud_demand
+        extra = (
+            f"peer offload {100 * result.peer_offload_ratio:.0f}%, "
+            f"peer bandwidth {mbps(result.total_peer_bandwidth):.1f} Mbps"
+        )
+        rates = result.capacity.traffic.arrival_rates
+    else:
+        cs = solve_channel_capacity(model, behaviour, args.rate, alpha=args.alpha)
+        servers, demand, rates = cs.servers, cs.cloud_demand, \
+            cs.traffic.arrival_rates
+        extra = f"expected population {cs.expected_population:.0f}"
+    rows = [
+        [i, f"{lam:.4f}", int(m), f"{mbps(d):.1f}"]
+        for i, (lam, m, d) in enumerate(zip(rates, servers, demand))
+    ]
+    print(format_table(
+        ["chunk", "lambda (1/s)", "m_i", "cloud Delta (Mbps)"], rows,
+        title=f"{args.mode} capacity analysis "
+              f"(rate={args.rate}/s, {args.chunks} chunks)",
+    ))
+    print(f"total cloud demand: {mbps(float(np.sum(demand))):.1f} Mbps; {extra}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = TraceConfig(
+        num_channels=args.channels,
+        chunks_per_channel=args.chunks,
+        horizon_seconds=args.hours * 3600.0,
+        mean_total_arrival_rate=args.rate,
+        seed=args.seed,
+    )
+    trace = generate_trace(config)
+    trace.to_json(args.output)
+    print(f"wrote {len(trace)} sessions over {args.hours:.0f} h "
+          f"({args.channels} channels) to {args.output}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_closed_loop  # heavy import
+
+    if args.scale == "paper":
+        scenario = paper_scenario(args.mode, horizon_hours=args.hours,
+                                  seed=args.seed)
+    else:
+        scenario = small_scenario(args.mode, horizon_hours=args.hours,
+                                  seed=args.seed)
+    result = run_closed_loop(scenario)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["mode", args.mode],
+            ["simulated hours", f"{args.hours:.0f}"],
+            ["arrivals", result.simulation.arrivals],
+            ["final population", result.simulation.final_population],
+            ["avg streaming quality", f"{result.average_quality:.3f}"],
+            ["mean reserved (Mbps)", f"{np.mean(result.provisioned_mbps()):.0f}"],
+            ["mean used (Mbps)", f"{np.mean(result.used_mbps()):.0f}"],
+            ["VM cost ($/h)", f"{result.mean_vm_cost_per_hour:.2f}"],
+            ["storage cost ($/day)",
+             f"{result.cost_report.hourly_storage_cost * 24:.4f}"],
+        ],
+        title="closed-loop run summary",
+    ))
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    print(format_table(
+        ["constant", "value"],
+        [
+            ["streaming rate r", "50 KB/s (400 kbps)"],
+            ["chunk playback T0", "300 s (chunk = 15 MB)"],
+            ["VM bandwidth R", "10 Mbps"],
+            ["channels", PAPER.num_channels],
+            ["chunks per channel", PAPER.chunks_per_channel],
+            ["target population", PAPER.target_population],
+            ["VM budget B_M", f"${PAPER.vm_budget_per_hour}/h"],
+            ["storage budget B_S", f"${PAPER.storage_budget_per_hour}/h"],
+            ["interval T", f"{PAPER.interval_seconds:.0f} s"],
+        ],
+        title="paper constants (Section VI-A)",
+    ))
+    print()
+    print(format_table(
+        ["cluster", "utility", "price/h", "max VMs"],
+        [[c.name, c.utility, c.price_per_hour, c.max_vms]
+         for c in paper_vm_clusters()],
+        title="Table II — virtual clusters",
+    ))
+    print()
+    print(format_table(
+        ["cluster", "utility", "price/GB/h", "capacity"],
+        [[c.name, c.utility, f"{c.price_per_gb_hour:.2e}",
+          f"{c.capacity_bytes / 1024**3:.0f} GB"]
+         for c in paper_nfs_clusters()],
+        title="Table III — NFS clusters",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "trace": _cmd_trace,
+        "run": _cmd_run,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Cluster descriptions (paper Tables II and III).
+
+A *virtual cluster* groups VMs of one configuration level; an *NFS cluster*
+groups storage servers of one performance level. Utilities are the
+performance factors u~_v / u_f the optimizers maximize; prices follow the
+per-time-unit charging model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VirtualClusterSpec", "NFSClusterSpec"]
+
+
+@dataclass(frozen=True)
+class VirtualClusterSpec:
+    """One virtual (VM) cluster.
+
+    Attributes
+    ----------
+    name:
+        Human-readable cluster label, e.g. ``"standard"``.
+    utility:
+        Performance factor u~_v (larger is better).
+    price_per_hour:
+        Rental price p~_v of one VM for one hour, dollars.
+    max_vms:
+        Maximal number of VMs N_v the cluster can provision.
+    vm_bandwidth:
+        Guaranteed bandwidth R per VM, bytes/second.
+    memory_mb, cpu_mhz, disk_gb:
+        Descriptive hardware attributes (Table II); not used by the
+        optimizers but reported by the monitor.
+    """
+
+    name: str
+    utility: float
+    price_per_hour: float
+    max_vms: int
+    vm_bandwidth: float
+    memory_mb: int = 128
+    cpu_mhz: int = 500
+    disk_gb: int = 5
+
+    def __post_init__(self) -> None:
+        if self.utility <= 0:
+            raise ValueError(f"utility must be > 0, got {self.utility}")
+        if self.price_per_hour <= 0:
+            raise ValueError(f"price must be > 0, got {self.price_per_hour}")
+        if self.max_vms < 0:
+            raise ValueError(f"max_vms must be >= 0, got {self.max_vms}")
+        if self.vm_bandwidth <= 0:
+            raise ValueError(f"vm_bandwidth must be > 0, got {self.vm_bandwidth}")
+
+    @property
+    def marginal_utility_per_dollar(self) -> float:
+        """u~_v / p~_v, the greedy heuristic's sort key."""
+        return self.utility / self.price_per_hour
+
+
+@dataclass(frozen=True)
+class NFSClusterSpec:
+    """One NFS storage cluster.
+
+    Attributes
+    ----------
+    name:
+        Human-readable cluster label.
+    utility:
+        Performance factor u_f (larger is better, e.g. faster disks).
+    price_per_gb_hour:
+        Storage price per gigabyte per hour, dollars (Table III pricing).
+    capacity_bytes:
+        Total storage capacity S_f in bytes.
+    rotation_rpm:
+        Descriptive disk speed (Table III).
+    """
+
+    name: str
+    utility: float
+    price_per_gb_hour: float
+    capacity_bytes: float
+    rotation_rpm: int = 7200
+
+    def __post_init__(self) -> None:
+        if self.utility <= 0:
+            raise ValueError(f"utility must be > 0, got {self.utility}")
+        if self.price_per_gb_hour <= 0:
+            raise ValueError(f"price must be > 0, got {self.price_per_gb_hour}")
+        if self.capacity_bytes < 0:
+            raise ValueError(f"capacity must be >= 0, got {self.capacity_bytes}")
+
+    @property
+    def price_per_byte_hour(self) -> float:
+        """p_f converted to dollars per byte per hour."""
+        return self.price_per_gb_hour / float(1024**3)
+
+    @property
+    def marginal_utility_per_dollar(self) -> float:
+        """u_f / p_f, the greedy heuristic's sort key."""
+        return self.utility / self.price_per_gb_hour
+
+    def chunk_slots(self, chunk_size_bytes: float) -> int:
+        """How many chunks of the given size fit: floor(S_f / (r*T0))."""
+        if chunk_size_bytes <= 0:
+            raise ValueError("chunk size must be > 0")
+        return int(self.capacity_bytes // chunk_size_bytes)

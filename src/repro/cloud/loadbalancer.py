@@ -1,0 +1,155 @@
+"""VM load balancing (paper Section VI-A).
+
+The paper's cloud management system features "real-time performance
+monitoring and load balancing among VMs". This module implements the
+serving-side counterpart of the packing plan: map incoming chunk-request
+load onto the running VMs of a cluster so that
+
+* requests for a chunk go to VMs assigned that chunk (port-forwarding
+  path in the paper's Fig 3), and
+* load is spread evenly (least-loaded first), with a rebalance operation
+  that moves assignments from hot to cold VMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.vm import VM, VMState
+
+__all__ = ["LoadBalancer", "LoadReport"]
+
+ChunkKey = Hashable
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Snapshot of per-VM load after a dispatch round."""
+
+    per_vm_load: Dict[int, float]  # vm_id -> bytes/second served
+    dropped: float  # demand (bytes/second) that no VM could take
+
+    @property
+    def total_load(self) -> float:
+        return float(sum(self.per_vm_load.values()))
+
+    @property
+    def max_load(self) -> float:
+        return max(self.per_vm_load.values(), default=0.0)
+
+    @property
+    def imbalance(self) -> float:
+        """Coefficient of variation of VM loads (0 = perfectly balanced)."""
+        loads = np.asarray(list(self.per_vm_load.values()), dtype=float)
+        if loads.size == 0 or loads.mean() == 0:
+            return 0.0
+        return float(loads.std() / loads.mean())
+
+
+class LoadBalancer:
+    """Dispatches per-chunk bandwidth demand onto running VMs.
+
+    VMs declare which chunks they serve through their ``assignment`` maps
+    (fractions of the VM's bandwidth per chunk, as produced by the
+    packer). Demand for a chunk is split across its assigned VMs
+    least-loaded-first, bounded by each VM's remaining headroom for that
+    chunk (fraction x bandwidth).
+    """
+
+    def __init__(self, vm_bandwidth: float) -> None:
+        if vm_bandwidth <= 0:
+            raise ValueError("VM bandwidth must be > 0")
+        self.vm_bandwidth = vm_bandwidth
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        vms: Sequence[VM],
+        demand: Mapping[ChunkKey, float],
+    ) -> LoadReport:
+        """Split per-chunk demand (bytes/second) across the running VMs.
+
+        Returns the resulting per-VM loads; demand for chunks no running
+        VM serves (or beyond assigned headroom) is reported as dropped.
+        """
+        running = [vm for vm in vms if vm.state is VMState.RUNNING]
+        loads: Dict[int, float] = {vm.vm_id: 0.0 for vm in running}
+        # Per-VM, per-chunk remaining headroom in bytes/second.
+        headroom: Dict[Tuple[int, ChunkKey], float] = {}
+        serving: Dict[ChunkKey, List[VM]] = {}
+        for vm in running:
+            for chunk, fraction in vm.assignment.items():
+                headroom[(vm.vm_id, chunk)] = fraction * self.vm_bandwidth
+                serving.setdefault(chunk, []).append(vm)
+
+        dropped = 0.0
+        for chunk in sorted(demand, key=repr):
+            need = float(demand[chunk])
+            if need < 0:
+                raise ValueError(f"negative demand for chunk {chunk!r}")
+            candidates = serving.get(chunk, [])
+            # Least-loaded first; stable on vm_id for determinism.
+            for vm in sorted(candidates, key=lambda v: (loads[v.vm_id], v.vm_id)):
+                if need <= 1e-12:
+                    break
+                cap = headroom[(vm.vm_id, chunk)]
+                spare_vm = self.vm_bandwidth - loads[vm.vm_id]
+                take = min(need, cap, max(0.0, spare_vm))
+                if take <= 0:
+                    continue
+                loads[vm.vm_id] += take
+                headroom[(vm.vm_id, chunk)] -= take
+                need -= take
+            dropped += max(0.0, need)
+        return LoadReport(per_vm_load=loads, dropped=dropped)
+
+    # ------------------------------------------------------------------
+    def rebalance(self, vms: Sequence[VM]) -> int:
+        """Even out chunk-share assignments across running VMs.
+
+        Moves shares from over-assigned VMs (total fraction > 1) onto VMs
+        with spare assignment capacity, preferring moves that keep a
+        chunk's shares on as few VMs as possible. Returns the number of
+        share moves performed.
+        """
+        running = [vm for vm in vms if vm.state is VMState.RUNNING]
+        moves = 0
+        overloaded = [vm for vm in running if vm.assigned_fraction() > 1.0 + 1e-9]
+        for vm in overloaded:
+            excess = vm.assigned_fraction() - 1.0
+            # Move the smallest shares first (cheapest to relocate).
+            for chunk, fraction in sorted(
+                vm.assignment.items(), key=lambda kv: kv[1]
+            ):
+                if excess <= 1e-9:
+                    break
+                move = min(fraction, excess)
+                target = self._find_target(running, vm, move)
+                if target is None:
+                    break
+                target.assignment[chunk] = (
+                    target.assignment.get(chunk, 0.0) + move
+                )
+                if fraction - move <= 1e-12:
+                    del vm.assignment[chunk]
+                else:
+                    vm.assignment[chunk] = fraction - move
+                excess -= move
+                moves += 1
+        return moves
+
+    @staticmethod
+    def _find_target(
+        running: Sequence[VM], source: VM, needed: float
+    ) -> Optional[VM]:
+        candidates = [
+            vm
+            for vm in running
+            if vm is not source and vm.assigned_fraction() + needed <= 1.0 + 1e-9
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda v: (v.assigned_fraction(), v.vm_id))

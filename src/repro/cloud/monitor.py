@@ -1,0 +1,78 @@
+"""VM monitor: tracks provisioned instances and utilization (paper Fig. 1).
+
+The monitor samples pool states over time so experiments can report VM
+counts, launch/shutdown activity, and bandwidth-utilization series without
+coupling reporting code to pool internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.cloud.vm import VMPool
+
+__all__ = ["VMMonitor", "MonitorSample"]
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One point-in-time snapshot of the VM fleet."""
+
+    time: float
+    running: Dict[str, int]
+    booting: Dict[str, int]
+    running_bandwidth: float
+    used_bandwidth: float
+
+    @property
+    def total_running(self) -> int:
+        return sum(self.running.values())
+
+    @property
+    def utilization(self) -> float:
+        """Used / provisioned bandwidth, in [0, 1] (0 when nothing runs)."""
+        if self.running_bandwidth <= 0:
+            return 0.0
+        return min(1.0, self.used_bandwidth / self.running_bandwidth)
+
+
+class VMMonitor:
+    """Collects :class:`MonitorSample` snapshots of the VM pools."""
+
+    def __init__(self, pools: Mapping[str, VMPool]) -> None:
+        self.pools = dict(pools)
+        self.samples: List[MonitorSample] = []
+
+    def sample(self, time: float, used_bandwidth: float = 0.0) -> MonitorSample:
+        """Record and return a snapshot at ``time``.
+
+        ``used_bandwidth`` is the instantaneous bandwidth actually consumed
+        by the application (reported by the VoD simulator), enabling the
+        provisioned-vs-used comparison of Fig 4.
+        """
+        snap = MonitorSample(
+            time=float(time),
+            running={name: pool.running for name, pool in self.pools.items()},
+            booting={name: pool.booting for name, pool in self.pools.items()},
+            running_bandwidth=sum(
+                pool.running_bandwidth() for pool in self.pools.values()
+            ),
+            used_bandwidth=float(used_bandwidth),
+        )
+        self.samples.append(snap)
+        return snap
+
+    def launch_counts(self) -> Dict[str, int]:
+        return {name: pool.launches for name, pool in self.pools.items()}
+
+    def shutdown_counts(self) -> Dict[str, int]:
+        return {name: pool.shutdowns for name, pool in self.pools.items()}
+
+    def provisioned_series(self) -> List[float]:
+        """Provisioned bandwidth at each sample (bytes/second)."""
+        return [s.running_bandwidth for s in self.samples]
+
+    def used_series(self) -> List[float]:
+        """Used bandwidth at each sample (bytes/second)."""
+        return [s.used_bandwidth for s in self.samples]

@@ -1,0 +1,67 @@
+"""CloudMedia's core: demand estimation, rental optimization, provisioning.
+
+This package implements the paper's primary contribution (Section V):
+
+* :mod:`repro.core.demand` — turns tracker statistics into per-chunk cloud
+  capacity demands Delta_i^(c) via the Section IV analysis.
+* :mod:`repro.core.storage_rental` — the optimal storage rental problem
+  (Eqn (6)): greedy heuristic, exact solver for small instances, and an LP
+  relaxation bound.
+* :mod:`repro.core.vm_allocation` — the optimal VM configuration problem
+  (Eqn (7)): greedy heuristic and the exact LP optimum.
+* :mod:`repro.core.packing` — maps fractional VM shares onto concrete VMs,
+  co-locating consecutive chunks of a channel on shared VMs.
+* :mod:`repro.core.predictor` — demand predictors: the paper's
+  last-interval rule plus moving-average and EWMA extensions.
+* :mod:`repro.core.provisioner` — the dynamic cloud provisioning controller
+  that closes the loop every interval T.
+* :mod:`repro.core.sla` — consumer-side SLA terms and budget accounting.
+"""
+
+from repro.core.demand import ChannelDemand, DemandEstimator, aggregate_demand
+from repro.core.packing import PackedVM, PackingResult, pack_allocations
+from repro.core.predictor import (
+    EWMAPredictor,
+    LastIntervalPredictor,
+    MovingAveragePredictor,
+)
+from repro.core.provisioner import ProvisioningController, ProvisioningDecision
+from repro.core.sla import BudgetLedger, SLATerms
+from repro.core.storage_rental import (
+    StoragePlan,
+    StorageProblem,
+    exhaustive_storage_rental,
+    greedy_storage_rental,
+    lp_storage_bound,
+)
+from repro.core.vm_allocation import (
+    VMAllocationPlan,
+    VMProblem,
+    greedy_vm_allocation,
+    lp_vm_allocation,
+)
+
+__all__ = [
+    "ChannelDemand",
+    "DemandEstimator",
+    "aggregate_demand",
+    "PackedVM",
+    "PackingResult",
+    "pack_allocations",
+    "EWMAPredictor",
+    "LastIntervalPredictor",
+    "MovingAveragePredictor",
+    "ProvisioningController",
+    "ProvisioningDecision",
+    "BudgetLedger",
+    "SLATerms",
+    "StoragePlan",
+    "StorageProblem",
+    "exhaustive_storage_rental",
+    "greedy_storage_rental",
+    "lp_storage_bound",
+    "VMAllocationPlan",
+    "VMProblem",
+    "greedy_vm_allocation",
+    "lp_vm_allocation",
+]

@@ -1,0 +1,317 @@
+"""The dynamic cloud provisioning controller (paper Section V-B, Fig. 3).
+
+Every interval T the controller:
+
+1. closes the tracker's statistics interval (arrival rates, viewing
+   patterns, peer upload capacities);
+2. feeds the observed rates to its predictor (the paper's last-interval
+   rule by default) and runs the Section IV analysis to get per-chunk
+   cloud demands Delta_i^(c);
+3. solves the VM configuration problem (Eqn (7) heuristic) and, when the
+   demand profile shifted enough (or videos were added), the storage
+   rental problem (Eqn (6) heuristic);
+4. submits the change request to the cloud broker under its SLA terms and
+   budget ledger;
+5. publishes the granted per-chunk capacities for the VoD system to use
+   in the next interval.
+
+The initial deployment (the paper's "based on the application's empirical
+user scale and viewing pattern information") is :meth:`bootstrap`, which
+runs the same pipeline on operator-supplied expected rates instead of
+tracker measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.broker import Broker, NegotiationError, ResourceRequest, SLAAgreement
+from repro.core.demand import ChannelDemand, ChunkKey, DemandEstimator, aggregate_demand
+from repro.core.packing import PackingResult, pack_allocations
+from repro.core.predictor import ArrivalRatePredictor, LastIntervalPredictor
+from repro.core.sla import BudgetLedger, SLATerms
+from repro.core.storage_rental import StoragePlan, StorageProblem, greedy_storage_rental
+from repro.core.vm_allocation import VMAllocationPlan, VMProblem, greedy_vm_allocation
+from repro.vod.tracker import IntervalStats, TrackingServer
+
+__all__ = ["ProvisioningDecision", "ProvisioningController"]
+
+
+@dataclass
+class ProvisioningDecision:
+    """Everything the controller decided for one interval."""
+
+    time: float
+    demands: List[ChannelDemand]
+    vm_plan: VMAllocationPlan
+    storage_plan: Optional[StoragePlan]
+    packing: PackingResult
+    agreement: Optional[SLAAgreement]
+    per_channel_capacity: Dict[int, np.ndarray] = field(default_factory=dict)
+    rejected: Optional[str] = None
+    cluster_utilities: Dict[str, float] = field(default_factory=dict)
+    nfs_utilities: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_cloud_demand(self) -> float:
+        return float(sum(d.total_cloud_demand for d in self.demands))
+
+    @property
+    def vm_counts(self) -> Dict[str, int]:
+        return self.vm_plan.integer_vm_counts()
+
+    @property
+    def hourly_vm_cost(self) -> float:
+        return self.agreement.hourly_vm_cost if self.agreement else 0.0
+
+    def channel_capacity(self, channel_id: int) -> np.ndarray:
+        return self.per_channel_capacity[channel_id]
+
+    def aggregate_vm_utility(self, channel_id: Optional[int] = None) -> float:
+        """sum u~_v z_iv, optionally restricted to one channel (Fig 9)."""
+        total = 0.0
+        for (chunk, cluster), z in self.vm_plan.allocations.items():
+            if channel_id is not None and chunk[0] != channel_id:
+                continue
+            total += self.cluster_utilities[cluster] * z
+        return total
+
+    def aggregate_storage_utility(
+        self, channel_id: Optional[int] = None
+    ) -> float:
+        """sum u_f Delta_i x_if over the storage placement (Fig 8).
+
+        Uses this decision's demand vector and its storage plan (or 0.0
+        when storage was not replanned this interval).
+        """
+        if self.storage_plan is None:
+            return 0.0
+        demand_by_chunk = aggregate_demand(self.demands)
+        total = 0.0
+        for chunk, cluster in self.storage_plan.placement.items():
+            if channel_id is not None and chunk[0] != channel_id:
+                continue
+            total += self.nfs_utilities[cluster] * demand_by_chunk.get(chunk, 0.0)
+        return total
+
+
+class ProvisioningController:
+    """Closes the provisioning loop between tracker, analysis and cloud."""
+
+    def __init__(
+        self,
+        estimator: DemandEstimator,
+        tracker: TrackingServer,
+        broker: Broker,
+        terms: SLATerms,
+        *,
+        predictor: Optional[ArrivalRatePredictor] = None,
+        storage_replan_threshold: float = 0.25,
+        min_capacity_per_chunk: float = 0.0,
+    ) -> None:
+        """Create a controller.
+
+        Parameters
+        ----------
+        storage_replan_threshold:
+            Relative L1 change in the chunk-demand vector that triggers a
+            storage replan ("if the demand for chunks has changed
+            significantly since last interval", Section V-B).
+        min_capacity_per_chunk:
+            Optional floor (bytes/s) on granted capacity for chunks with a
+            nonzero expected population; guards the first interval after a
+            channel wakes up.
+        """
+        if storage_replan_threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.estimator = estimator
+        self.tracker = tracker
+        self.broker = broker
+        self.terms = terms
+        self.predictor = predictor or LastIntervalPredictor()
+        self.storage_replan_threshold = storage_replan_threshold
+        self.min_capacity_per_chunk = min_capacity_per_chunk
+        self.ledger = BudgetLedger(terms)
+        self.decisions: List[ProvisioningDecision] = []
+        self._last_chunk_demand: Optional[Dict[ChunkKey, float]] = None
+        self._storage_planned = False
+
+    # ------------------------------------------------------------------
+    @property
+    def vm_bandwidth(self) -> float:
+        return self.estimator.model.vm_bandwidth
+
+    @property
+    def chunk_size_bytes(self) -> float:
+        return self.estimator.model.chunk_size_bytes
+
+    def _should_replan_storage(self, chunk_demand: Mapping[ChunkKey, float]) -> bool:
+        if not self._storage_planned:
+            return True
+        last = self._last_chunk_demand or {}
+        if set(chunk_demand) != set(last):
+            return True  # videos added or removed
+        baseline = sum(last.values())
+        if baseline <= 0:
+            return any(v > 0 for v in chunk_demand.values())
+        shift = sum(abs(chunk_demand[k] - last.get(k, 0.0)) for k in chunk_demand)
+        return shift / baseline > self.storage_replan_threshold
+
+    def _grants_to_channel_arrays(
+        self,
+        demands: Sequence[ChannelDemand],
+        grants: Mapping[ChunkKey, float],
+    ) -> Dict[int, np.ndarray]:
+        arrays: Dict[int, np.ndarray] = {}
+        for demand in demands:
+            j = demand.cloud_demand.size
+            arr = np.zeros(j, dtype=float)
+            for i in range(j):
+                arr[i] = grants.get((demand.channel_id, i), 0.0)
+            if self.min_capacity_per_chunk > 0:
+                populated = demand.expected_in_system > 0
+                arr[populated] = np.maximum(
+                    arr[populated], self.min_capacity_per_chunk
+                )
+            arrays[demand.channel_id] = arr
+        return arrays
+
+    # ------------------------------------------------------------------
+    # Decision pipeline (shared by bootstrap and periodic runs)
+    # ------------------------------------------------------------------
+    def provision(
+        self,
+        now: float,
+        demands: List[ChannelDemand],
+    ) -> ProvisioningDecision:
+        """Optimize, negotiate and apply a set of channel demands."""
+        chunk_demand = aggregate_demand(demands)
+
+        # --- VM configuration (every interval) --------------------------
+        vm_specs = list(self.broker.facility.vm_specs.values())
+        vm_problem = VMProblem(
+            demands=chunk_demand,
+            vm_bandwidth=self.vm_bandwidth,
+            clusters=vm_specs,
+            budget_per_hour=self.terms.vm_budget_per_hour,
+        )
+        vm_plan = greedy_vm_allocation(vm_problem)
+        packing = pack_allocations(vm_plan.allocations)
+
+        # --- Storage rental (on significant change) ----------------------
+        storage_plan: Optional[StoragePlan] = None
+        nfs_specs = list(self.broker.facility.nfs_specs.values())
+        if self._should_replan_storage(chunk_demand):
+            storage_problem = StorageProblem(
+                demands=chunk_demand,
+                chunk_size_bytes=self.chunk_size_bytes,
+                clusters=nfs_specs,
+                budget_per_hour=self.terms.storage_budget_per_hour,
+            )
+            storage_plan = greedy_storage_rental(storage_problem)
+
+        # --- Request to the cloud -----------------------------------------
+        vm_targets = {spec.name: 0 for spec in vm_specs}
+        vm_targets.update(vm_plan.integer_vm_counts())
+        placement = (
+            storage_plan.to_facility_placement(self.chunk_size_bytes)
+            if storage_plan is not None and storage_plan.feasible
+            else None
+        )
+        request = ResourceRequest(
+            vm_targets=vm_targets,
+            storage_placement=placement,
+            max_hourly_budget=self.terms.total_budget_per_hour,
+        )
+        agreement: Optional[SLAAgreement] = None
+        rejected: Optional[str] = None
+        try:
+            agreement = self.broker.request(request)
+        except NegotiationError as exc:
+            rejected = str(exc)
+
+        grants = vm_plan.chunk_bandwidth(self.vm_bandwidth)
+        decision = ProvisioningDecision(
+            time=now,
+            demands=demands,
+            vm_plan=vm_plan,
+            storage_plan=storage_plan,
+            packing=packing,
+            agreement=agreement,
+            per_channel_capacity=self._grants_to_channel_arrays(demands, grants),
+            rejected=rejected,
+            cluster_utilities={spec.name: spec.utility for spec in vm_specs},
+            nfs_utilities={spec.name: spec.utility for spec in nfs_specs},
+        )
+        self.decisions.append(decision)
+
+        if storage_plan is not None and storage_plan.feasible and agreement:
+            self._storage_planned = True
+        self._last_chunk_demand = dict(chunk_demand)
+
+        vm_rate = agreement.hourly_vm_cost if agreement else 0.0
+        storage_rate = self.broker.facility.billing.current_storage_cost_rate()
+        self.ledger.record(
+            now,
+            vm_rate,
+            storage_rate,
+            feasible=vm_plan.feasible
+            and (storage_plan is None or storage_plan.feasible)
+            and rejected is None,
+        )
+        return decision
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def bootstrap(
+        self,
+        now: float,
+        expected_rates: Mapping[int, float],
+        *,
+        peer_upload: Optional[float] = None,
+    ) -> ProvisioningDecision:
+        """Initial deployment from expected per-channel arrival rates.
+
+        Builds synthetic interval statistics (no observations; the
+        empirical estimator falls back to the prior viewing pattern) and
+        runs the normal decision pipeline. The tracker and predictor are
+        untouched.
+        """
+        synthetic: List[IntervalStats] = [
+            self.tracker.empty_stats(channel_id)
+            for channel_id in sorted(expected_rates)
+        ]
+        demands = self.estimator.estimate_all(
+            synthetic,
+            arrival_rates=dict(expected_rates),
+            peer_upload=peer_upload,
+        )
+        return self.provision(now, demands)
+
+    def run_interval(
+        self,
+        now: float,
+        *,
+        peer_upload: Optional[float] = None,
+    ) -> ProvisioningDecision:
+        """Execute one periodic provisioning round at time ``now``.
+
+        ``peer_upload`` optionally injects the measured mean peer upload
+        (e.g. the simulator's live value) instead of the tracker's
+        per-interval sample mean.
+        """
+        interval_stats: List[IntervalStats] = self.tracker.close_interval()
+
+        predicted: Dict[int, float] = {}
+        for stats in interval_stats:
+            self.predictor.observe(stats.channel_id, stats.arrival_rate)
+            predicted[stats.channel_id] = self.predictor.predict(stats.channel_id)
+
+        demands = self.estimator.estimate_all(
+            interval_stats, arrival_rates=predicted, peer_upload=peer_upload
+        )
+        return self.provision(now, demands)

@@ -1,0 +1,101 @@
+"""Consumer-side SLA terms and budget accounting (paper Sections III, V).
+
+The VoD provider negotiates with the cloud under two per-unit-time budgets
+(B_M for VMs, B_S for storage). :class:`SLATerms` carries those terms plus
+the provisioning interval; :class:`BudgetLedger` tracks realized spending
+against them so experiments can report budget adherence and the controller
+can detect sustained infeasibility (the paper's "budget... should be
+increased" signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["SLATerms", "BudgetLedger"]
+
+
+@dataclass(frozen=True)
+class SLATerms:
+    """The consumer's standing agreement parameters.
+
+    Attributes
+    ----------
+    vm_budget_per_hour:
+        B_M, dollars per hour for VM rental (paper default: $100/h).
+    storage_budget_per_hour:
+        B_S, dollars per hour for NFS storage (paper default: $1/h).
+    interval_seconds:
+        Provisioning interval T (paper default: one hour).
+    """
+
+    vm_budget_per_hour: float = 100.0
+    storage_budget_per_hour: float = 1.0
+    interval_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.vm_budget_per_hour < 0:
+            raise ValueError("VM budget must be >= 0")
+        if self.storage_budget_per_hour < 0:
+            raise ValueError("storage budget must be >= 0")
+        if self.interval_seconds <= 0:
+            raise ValueError("interval must be > 0")
+
+    @property
+    def total_budget_per_hour(self) -> float:
+        return self.vm_budget_per_hour + self.storage_budget_per_hour
+
+
+class BudgetLedger:
+    """Per-interval spending record against the SLA budgets."""
+
+    def __init__(self, terms: SLATerms) -> None:
+        self.terms = terms
+        self.entries: List[Tuple[float, float, float]] = []  # (t, vm$, storage$)
+        self.infeasible_intervals = 0
+
+    def record(
+        self,
+        time: float,
+        vm_rate: float,
+        storage_rate: float,
+        *,
+        feasible: bool = True,
+    ) -> None:
+        """Record one interval's hourly spend rates (dollars/hour)."""
+        if vm_rate < 0 or storage_rate < 0:
+            raise ValueError("spend rates must be >= 0")
+        self.entries.append((time, vm_rate, storage_rate))
+        if not feasible:
+            self.infeasible_intervals += 1
+
+    @property
+    def intervals(self) -> int:
+        return len(self.entries)
+
+    def mean_vm_rate(self) -> float:
+        if not self.entries:
+            return 0.0
+        return sum(e[1] for e in self.entries) / len(self.entries)
+
+    def mean_storage_rate(self) -> float:
+        if not self.entries:
+            return 0.0
+        return sum(e[2] for e in self.entries) / len(self.entries)
+
+    def peak_vm_rate(self) -> float:
+        return max((e[1] for e in self.entries), default=0.0)
+
+    def vm_budget_violations(self) -> int:
+        """Intervals whose VM spend rate exceeded B_M (should be zero)."""
+        limit = self.terms.vm_budget_per_hour + 1e-9
+        return sum(1 for e in self.entries if e[1] > limit)
+
+    def storage_budget_violations(self) -> int:
+        limit = self.terms.storage_budget_per_hour + 1e-9
+        return sum(1 for e in self.entries if e[2] > limit)
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(time, vm $/hour) points — the Fig 10 series."""
+        return [(t, vm) for t, vm, _ in self.entries]

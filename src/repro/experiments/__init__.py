@@ -1,0 +1,41 @@
+"""Experiment harness reproducing the paper's evaluation (Section VI).
+
+* :mod:`repro.experiments.config` — the paper's parameters: Tables II/III
+  cluster configurations, streaming/chunking constants, budgets, and
+  scenario presets (scaled-down for CI, paper-scale via ``REPRO_FULL=1``).
+* :mod:`repro.experiments.runner` — the closed-loop runner wiring trace ->
+  simulator -> tracker -> controller -> cloud.
+* :mod:`repro.experiments.figures` — one generator per paper figure,
+  returning printable series.
+* :mod:`repro.experiments.reporting` — plain-text table rendering shared
+  by the benches.
+"""
+
+from repro.experiments.config import (
+    PAPER,
+    PaperConstants,
+    ScenarioConfig,
+    arrival_rate_for_population,
+    paper_capacity_model,
+    paper_nfs_clusters,
+    paper_sla_terms,
+    paper_vm_clusters,
+    scenario_from_env,
+    small_scenario,
+)
+from repro.experiments.runner import ClosedLoopResult, run_closed_loop
+
+__all__ = [
+    "PAPER",
+    "PaperConstants",
+    "ScenarioConfig",
+    "arrival_rate_for_population",
+    "paper_capacity_model",
+    "paper_nfs_clusters",
+    "paper_sla_terms",
+    "paper_vm_clusters",
+    "scenario_from_env",
+    "small_scenario",
+    "ClosedLoopResult",
+    "run_closed_loop",
+]

@@ -1,0 +1,67 @@
+"""Plain-text reporting helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "downsample", "series_summary", "mbps"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float) or isinstance(value, np.floating):
+                cells.append(float_fmt.format(float(value)))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def downsample(values: Sequence[float], max_points: int = 12) -> List[float]:
+    """Evenly subsample a series for compact printing."""
+    if max_points <= 0:
+        raise ValueError("max_points must be > 0")
+    arr = list(values)
+    if len(arr) <= max_points:
+        return arr
+    idx = np.linspace(0, len(arr) - 1, max_points).round().astype(int)
+    return [arr[i] for i in idx]
+
+
+def series_summary(values: Sequence[float]) -> str:
+    """min/mean/max one-liner."""
+    if not len(values):
+        return "(empty)"
+    arr = np.asarray(values, dtype=float)
+    return f"min={arr.min():.3f} mean={arr.mean():.3f} max={arr.max():.3f}"
+
+
+def mbps(bytes_per_second: float) -> float:
+    """Convert bytes/second to megabits/second (the paper's unit)."""
+    return bytes_per_second * 8.0 / 1e6

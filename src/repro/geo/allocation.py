@@ -1,0 +1,274 @@
+"""Multi-region VM allocation (the geo extension's Eqn (7) analogue).
+
+Per-region demand ``{viewer_region: {chunk: Delta}}`` may be served from
+any region's clusters. Serving region g's viewers from region s uses
+an *effective* utility ``u~_v * discount(s, g)`` (latency degrades
+streaming quality) and an *effective* price
+``p~_v + egress(s, g, R)`` (cross-region traffic is billed per GB).
+Subject to per-cluster capacity and one global hourly budget, maximize the
+total effective utility while covering all demand.
+
+Solvers mirror the single-region module: a greedy in the paper's
+utility-per-dollar style, and the exact LP optimum via scipy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.geo.region import GeoTopology
+
+__all__ = ["GeoVMProblem", "GeoAllocationPlan", "greedy_geo_allocation",
+           "lp_geo_allocation"]
+
+ChunkKey = Hashable
+# An allocation cell: (viewer_region, chunk, serving_region, cluster).
+CellKey = Tuple[str, ChunkKey, str, str]
+
+
+@dataclass(frozen=True)
+class GeoVMProblem:
+    """One instance of the multi-region VM configuration problem."""
+
+    topology: GeoTopology
+    demands: Mapping[str, Mapping[ChunkKey, float]]  # region -> chunk -> B/s
+    vm_bandwidth: float
+    budget_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.vm_bandwidth <= 0:
+            raise ValueError("VM bandwidth must be > 0")
+        if self.budget_per_hour < 0:
+            raise ValueError("budget must be >= 0")
+        for region, chunks in self.demands.items():
+            if region not in self.topology.regions:
+                raise KeyError(f"unknown demand region {region!r}")
+            if any(v < 0 for v in chunks.values()):
+                raise ValueError(f"negative demand in region {region!r}")
+
+    def vm_need(self, region: str, chunk: ChunkKey) -> float:
+        return float(self.demands[region][chunk]) / self.vm_bandwidth
+
+    def total_vm_need(self) -> float:
+        return sum(
+            float(v) for chunks in self.demands.values() for v in chunks.values()
+        ) / self.vm_bandwidth
+
+    def effective_utility(self, serving: str, viewer: str, cluster_utility: float) -> float:
+        return cluster_utility * self.topology.utility_discount(serving, viewer)
+
+    def effective_price(
+        self, serving: str, viewer: str, cluster_price: float
+    ) -> float:
+        return cluster_price + self.topology.egress_cost_per_vm_hour(
+            serving, viewer, self.vm_bandwidth
+        )
+
+
+@dataclass(frozen=True)
+class GeoAllocationPlan:
+    """A (possibly partial) multi-region allocation."""
+
+    allocations: Dict[CellKey, float]  # fractional VMs per cell
+    objective: float
+    cost_per_hour: float
+    feasible: bool
+    unserved_vms: float = 0.0
+
+    def cluster_totals(self) -> Dict[Tuple[str, str], float]:
+        """Fractional VM totals per (serving_region, cluster)."""
+        totals: Dict[Tuple[str, str], float] = {}
+        for (_, _, serving, cluster), z in self.allocations.items():
+            key = (serving, cluster)
+            totals[key] = totals.get(key, 0.0) + z
+        return totals
+
+    def remote_fraction(self) -> float:
+        """Fraction of VM-hours served across regions."""
+        total = sum(self.allocations.values())
+        if total <= 0:
+            return 0.0
+        remote = sum(
+            z
+            for (viewer, _, serving, _), z in self.allocations.items()
+            if viewer != serving
+        )
+        return remote / total
+
+    def region_service_matrix(self) -> Dict[Tuple[str, str], float]:
+        """``{(viewer_region, serving_region): fractional VMs}``."""
+        matrix: Dict[Tuple[str, str], float] = {}
+        for (viewer, _, serving, _), z in self.allocations.items():
+            key = (viewer, serving)
+            matrix[key] = matrix.get(key, 0.0) + z
+        return matrix
+
+
+def _cells_for(
+    problem: GeoVMProblem, viewer: str
+) -> List[Tuple[str, str, float, float]]:
+    """Candidate (serving_region, cluster, eff_utility, eff_price) options
+    for a viewer region, best utility-per-dollar first."""
+    options = []
+    for serving, region in problem.topology.regions.items():
+        for cluster in region.clusters:
+            utility = problem.effective_utility(serving, viewer, cluster.utility)
+            price = problem.effective_price(
+                serving, viewer, cluster.price_per_hour
+            )
+            options.append((serving, cluster.name, utility, price))
+    options.sort(key=lambda o: (-(o[2] / o[3]), o[0], o[1]))
+    return options
+
+
+def greedy_geo_allocation(problem: GeoVMProblem) -> GeoAllocationPlan:
+    """Greedy in the paper's style, extended across regions.
+
+    Demand cells (viewer region, chunk) are processed in decreasing
+    demand; each draws from its best effective-utility-per-dollar option
+    with remaining capacity, spilling across clusters *and regions*, while
+    the global budget lasts.
+    """
+    remaining: Dict[Tuple[str, str], float] = {}
+    for name, region in problem.topology.regions.items():
+        for cluster in region.clusters:
+            remaining[(name, cluster.name)] = float(cluster.max_vms)
+
+    cells = [
+        (viewer, chunk, problem.vm_need(viewer, chunk))
+        for viewer, chunks in problem.demands.items()
+        for chunk in chunks
+    ]
+    cells.sort(key=lambda c: (-c[2], c[0], repr(c[1])))
+
+    options_cache: Dict[str, List[Tuple[str, str, float, float]]] = {}
+    allocations: Dict[CellKey, float] = {}
+    cost = 0.0
+    objective = 0.0
+    unserved = 0.0
+
+    for viewer, chunk, need in cells:
+        if viewer not in options_cache:
+            options_cache[viewer] = _cells_for(problem, viewer)
+        for serving, cluster, utility, price in options_cache[viewer]:
+            if need <= 1e-12:
+                break
+            capacity = remaining[(serving, cluster)]
+            if capacity <= 1e-12:
+                continue
+            affordable = (
+                (problem.budget_per_hour - cost) / price
+                if price > 0
+                else float("inf")
+            )
+            take = min(need, capacity, max(0.0, affordable))
+            if take <= 1e-12:
+                continue
+            key: CellKey = (viewer, chunk, serving, cluster)
+            allocations[key] = allocations.get(key, 0.0) + take
+            remaining[(serving, cluster)] -= take
+            cost += take * price
+            objective += take * utility
+            need -= take
+        if need > 1e-9:
+            unserved += need
+
+    return GeoAllocationPlan(
+        allocations=allocations,
+        objective=objective,
+        cost_per_hour=cost,
+        feasible=unserved <= 1e-9,
+        unserved_vms=unserved,
+    )
+
+
+def lp_geo_allocation(problem: GeoVMProblem) -> GeoAllocationPlan:
+    """Exact LP optimum of the multi-region problem via scipy HiGHS."""
+    viewers = sorted(problem.demands)
+    cells: List[Tuple[str, ChunkKey]] = [
+        (viewer, chunk)
+        for viewer in viewers
+        for chunk in sorted(problem.demands[viewer], key=repr)
+    ]
+    supplies: List[Tuple[str, str, float, float, int]] = []  # + capacity idx
+    capacity_keys: List[Tuple[str, str]] = []
+    for name in sorted(problem.topology.regions):
+        region = problem.topology.regions[name]
+        for cluster in region.clusters:
+            capacity_keys.append((name, cluster.name))
+    cap_index = {key: i for i, key in enumerate(capacity_keys)}
+    caps = np.array(
+        [
+            float(problem.topology.regions[rg].clusters[
+                [c.name for c in problem.topology.regions[rg].clusters].index(cl)
+            ].max_vms)
+            for rg, cl in capacity_keys
+        ]
+    )
+
+    # Variables: one per (cell, supply) combination.
+    var_meta: List[Tuple[int, str, str, float, float]] = []
+    for cell_idx, (viewer, _chunk) in enumerate(cells):
+        for serving, cluster in capacity_keys:
+            region = problem.topology.regions[serving]
+            spec = next(c for c in region.clusters if c.name == cluster)
+            utility = problem.effective_utility(serving, viewer, spec.utility)
+            price = problem.effective_price(serving, viewer, spec.price_per_hour)
+            var_meta.append((cell_idx, serving, cluster, utility, price))
+
+    n_vars = len(var_meta)
+    if n_vars == 0:
+        return GeoAllocationPlan({}, 0.0, 0.0, True)
+    c_obj = np.array([-(meta[3]) for meta in var_meta])
+
+    # Demand equalities.
+    needs = np.array([problem.vm_need(v, ch) for v, ch in cells])
+    a_eq = np.zeros((len(cells), n_vars))
+    for j, meta in enumerate(var_meta):
+        a_eq[meta[0], j] = 1.0
+
+    # Capacity + budget inequalities.
+    a_ub = np.zeros((len(capacity_keys) + 1, n_vars))
+    b_ub = np.zeros(len(capacity_keys) + 1)
+    for j, meta in enumerate(var_meta):
+        a_ub[cap_index[(meta[1], meta[2])], j] = 1.0
+        a_ub[-1, j] = meta[4]
+    b_ub[: len(capacity_keys)] = caps
+    b_ub[-1] = problem.budget_per_hour
+
+    res = linprog(
+        c_obj,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=needs,
+        bounds=[(0.0, None)] * n_vars,
+        method="highs",
+    )
+    if not res.success:
+        return GeoAllocationPlan(
+            {}, 0.0, 0.0, False, unserved_vms=float(needs.sum())
+        )
+
+    allocations: Dict[CellKey, float] = {}
+    cost = 0.0
+    objective = 0.0
+    for j, meta in enumerate(var_meta):
+        z = float(res.x[j])
+        if z <= 1e-9:
+            continue
+        cell_idx, serving, cluster, utility, price = meta
+        viewer, chunk = cells[cell_idx]
+        allocations[(viewer, chunk, serving, cluster)] = z
+        cost += z * price
+        objective += z * utility
+    return GeoAllocationPlan(
+        allocations=allocations,
+        objective=objective,
+        cost_per_hour=cost,
+        feasible=True,
+    )

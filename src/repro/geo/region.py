@@ -1,0 +1,143 @@
+"""Region descriptions for the geo-distributed extension.
+
+A region hosts its own virtual clusters (same shape as Table II) and is
+connected to every other region with a round-trip latency and an egress
+price. Serving a viewer from a remote region is possible but worse on both
+axes: streaming quality degrades with latency (modeled as a utility
+discount) and the provider pays for cross-region egress bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.cloud.cluster import VirtualClusterSpec
+
+__all__ = ["RegionSpec", "GeoTopology"]
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One cloud region.
+
+    Attributes
+    ----------
+    name:
+        Region label, e.g. ``"us-east"``.
+    clusters:
+        The region's virtual clusters.
+    """
+
+    name: str
+    clusters: Tuple[VirtualClusterSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ValueError(f"region {self.name!r} needs at least one cluster")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate cluster names in region {self.name!r}")
+
+    @property
+    def total_vms(self) -> int:
+        return sum(c.max_vms for c in self.clusters)
+
+
+class GeoTopology:
+    """Regions plus pairwise latency and egress pricing.
+
+    Parameters
+    ----------
+    regions:
+        The participating regions.
+    latency_ms:
+        ``{(from_region, to_region): round-trip ms}``; symmetric entries
+        are filled automatically, the diagonal defaults to
+        ``local_latency_ms``.
+    egress_price_per_gb:
+        ``{(serving_region, viewer_region): $/GB}`` for cross-region
+        traffic; intra-region traffic is free.
+    latency_halflife_ms:
+        Utility discount parameter: serving across a link of latency L
+        multiplies the cluster utility by ``0.5 ** (L / halflife)``, so a
+        link at the half-life halves the effective utility.
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[RegionSpec],
+        latency_ms: Mapping[Tuple[str, str], float],
+        egress_price_per_gb: Mapping[Tuple[str, str], float],
+        *,
+        local_latency_ms: float = 5.0,
+        latency_halflife_ms: float = 150.0,
+    ) -> None:
+        if not regions:
+            raise ValueError("need at least one region")
+        names = [r.name for r in regions]
+        if len(set(names)) != len(names):
+            raise ValueError("region names must be unique")
+        if latency_halflife_ms <= 0:
+            raise ValueError("latency half-life must be > 0")
+        if local_latency_ms < 0:
+            raise ValueError("local latency must be >= 0")
+        self.regions: Dict[str, RegionSpec] = {r.name: r for r in regions}
+        self.latency_halflife_ms = latency_halflife_ms
+        self._latency: Dict[Tuple[str, str], float] = {}
+        self._egress: Dict[Tuple[str, str], float] = {}
+
+        for name in names:
+            self._latency[(name, name)] = local_latency_ms
+            self._egress[(name, name)] = 0.0
+        for (a, b), value in latency_ms.items():
+            self._check_regions(a, b)
+            if value < 0:
+                raise ValueError("latency must be >= 0")
+            self._latency[(a, b)] = float(value)
+            self._latency.setdefault((b, a), float(value))
+        for (a, b), value in egress_price_per_gb.items():
+            self._check_regions(a, b)
+            if value < 0:
+                raise ValueError("egress price must be >= 0")
+            self._egress[(a, b)] = float(value)
+            self._egress.setdefault((b, a), float(value))
+
+        for a in names:
+            for b in names:
+                if (a, b) not in self._latency:
+                    raise ValueError(f"missing latency for {(a, b)}")
+                if (a, b) not in self._egress:
+                    raise ValueError(f"missing egress price for {(a, b)}")
+
+    def _check_regions(self, *names: str) -> None:
+        for name in names:
+            if name not in self.regions:
+                raise KeyError(f"unknown region {name!r}")
+
+    # ------------------------------------------------------------------
+    def latency(self, serving: str, viewer: str) -> float:
+        """Round-trip latency in milliseconds."""
+        self._check_regions(serving, viewer)
+        return self._latency[(serving, viewer)]
+
+    def egress_price(self, serving: str, viewer: str) -> float:
+        """Cross-region egress price, $/GB ($0 intra-region)."""
+        self._check_regions(serving, viewer)
+        return self._egress[(serving, viewer)]
+
+    def utility_discount(self, serving: str, viewer: str) -> float:
+        """Latency-driven utility multiplier in (0, 1]."""
+        latency = self.latency(serving, viewer)
+        return 0.5 ** (latency / self.latency_halflife_ms)
+
+    def egress_cost_per_vm_hour(
+        self, serving: str, viewer: str, vm_bandwidth: float
+    ) -> float:
+        """Hourly egress cost of one VM streaming at full rate across the
+        link: R bytes/s for 3600 s, priced per GB."""
+        gb_per_hour = vm_bandwidth * 3600.0 / 1e9
+        return self.egress_price(serving, viewer) * gb_per_hour
+
+    def region_names(self) -> List[str]:
+        return list(self.regions)

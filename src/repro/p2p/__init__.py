@@ -1,0 +1,41 @@
+"""P2P VoD bandwidth-contribution analysis (paper Section IV-C).
+
+In the P2P mode the upload bandwidth s_i = R * m_i required to serve chunk i
+is split between the cloud (Delta_i) and the peers who own the chunk
+(Gamma_i):
+
+* :mod:`repro.p2p.ownership` — Proposition 1: the equilibrium distribution
+  of chunk-i owners across the chunk queues, and the total owner count
+  nu_i.
+* :mod:`repro.p2p.coownership` — estimators of the co-ownership probability
+  Psi(pi_j, pi_k) used by the rarest-first deduction in Eqn (5). The paper
+  relegates the exact computation to an unavailable technical report; we
+  provide an independence approximation and an empirical estimator and
+  document the substitution in DESIGN.md.
+* :mod:`repro.p2p.contribution` — Eqn (5): peer upload contribution under
+  rarest-first scheduling, and the resulting cloud supplement
+  Delta_i = R*m_i - Gamma_i.
+"""
+
+from repro.p2p.contribution import (
+    P2PCapacityResult,
+    peer_contribution,
+    solve_p2p_channel_capacity,
+)
+from repro.p2p.coownership import (
+    CoOwnershipModel,
+    empirical_coownership,
+    independent_coownership,
+)
+from repro.p2p.ownership import OwnershipResult, solve_ownership
+
+__all__ = [
+    "P2PCapacityResult",
+    "peer_contribution",
+    "solve_p2p_channel_capacity",
+    "CoOwnershipModel",
+    "empirical_coownership",
+    "independent_coownership",
+    "OwnershipResult",
+    "solve_ownership",
+]

@@ -1,0 +1,96 @@
+"""Co-ownership probability Psi(a, b) (paper Section IV-C).
+
+Psi(a, b) is the probability that a randomly chosen peer in the channel
+simultaneously holds chunks a and b in its buffer. The paper computes it by
+summing over all queue-transition sequences visiting both chunks, with the
+details in an unavailable technical report; this module provides two
+substitutes (documented in DESIGN.md):
+
+* :func:`independent_coownership` — treat per-chunk ownership as independent
+  events: Psi(a, b) = (nu_a / N)(nu_b / N). Fast, closed-form, and preserves
+  the monotone structure Eqn (5) relies on (popular chunk pairs deduct more
+  committed bandwidth).
+* :func:`empirical_coownership` — measure Psi directly from a boolean
+  peer-by-chunk buffer-ownership matrix, which the VoD simulator's tracker
+  maintains; this is what a deployed CloudMedia controller would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["independent_coownership", "empirical_coownership", "CoOwnershipModel"]
+
+# A co-ownership model maps (chunk_a, chunk_b) -> probability in [0, 1].
+CoOwnershipModel = Callable[[int, int], float]
+
+
+@dataclass(frozen=True)
+class _IndependentModel:
+    """Psi(a,b) = f_a * f_b with f the per-chunk ownership fractions."""
+
+    fractions: np.ndarray
+
+    def __call__(self, chunk_a: int, chunk_b: int) -> float:
+        if chunk_a == chunk_b:
+            return float(self.fractions[chunk_a])
+        return float(self.fractions[chunk_a] * self.fractions[chunk_b])
+
+
+def independent_coownership(
+    owners: np.ndarray, population: float
+) -> CoOwnershipModel:
+    """Independence-approximation Psi from equilibrium owner counts.
+
+    Ownership fractions are clipped to [0, 1]: the analysis can produce
+    nu_i slightly above the population for chunks nearly everyone holds.
+
+    Parameters
+    ----------
+    owners:
+        Per-chunk expected owner counts nu_i
+        (:class:`repro.p2p.ownership.OwnershipResult.owners`).
+    population:
+        Expected total channel population N.
+    """
+    nu = np.asarray(owners, dtype=float)
+    if np.any(nu < 0):
+        raise ValueError("owner counts must be nonnegative")
+    if population < 0:
+        raise ValueError("population must be nonnegative")
+    if population == 0:
+        fractions = np.zeros_like(nu)
+    else:
+        fractions = np.clip(nu / population, 0.0, 1.0)
+    return _IndependentModel(fractions)
+
+
+@dataclass(frozen=True)
+class _EmpiricalModel:
+    """Psi measured from a peers-by-chunks ownership matrix."""
+
+    joint: np.ndarray  # joint[a, b] = fraction of peers owning both a and b
+
+    def __call__(self, chunk_a: int, chunk_b: int) -> float:
+        return float(self.joint[chunk_a, chunk_b])
+
+
+def empirical_coownership(buffer_matrix: np.ndarray) -> CoOwnershipModel:
+    """Measure Psi from a boolean (num_peers x num_chunks) buffer matrix.
+
+    ``buffer_matrix[p, i]`` is truthy iff peer p currently buffers chunk i.
+    Returns the exact empirical joint ownership frequencies. An empty peer
+    set yields Psi == 0 everywhere.
+    """
+    buf = np.asarray(buffer_matrix)
+    if buf.ndim != 2:
+        raise ValueError("buffer matrix must be 2-D (peers x chunks)")
+    num_peers, num_chunks = buf.shape
+    if num_peers == 0:
+        return _EmpiricalModel(np.zeros((num_chunks, num_chunks)))
+    b = buf.astype(float)
+    joint = (b.T @ b) / num_peers
+    return _EmpiricalModel(joint)

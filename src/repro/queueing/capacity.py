@@ -1,0 +1,215 @@
+"""Equilibrium server-capacity solver (paper Section IV-B).
+
+Given per-queue arrival rates lambda_i (from the traffic equations) and the
+service rate mu = R / (r * T0) of one VM-backed queueing server, find the
+minimal integer m_i such that
+
+    m_i > lambda_i / mu          (stability), and
+    E[n_i] <= lambda_i * T0      (mean sojourn time <= T0, by Little's law).
+
+``E[n]`` is monotonically decreasing in m for fixed load, so a linear /
+doubling search terminates; the paper's iterative procedure ("initialize
+m to 1, increase until E(n) equals lambda*T0") is the same computation.
+
+The total upload bandwidth to serve chunk i is then s_i = R * m_i, which in
+the client-server mode is exactly the cloud capacity Delta_i to provision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.queueing.erlang import mmm_expected_number_in_system
+from repro.queueing.jackson import (
+    TrafficSolution,
+    external_arrival_vector,
+    solve_traffic_equations,
+)
+
+__all__ = ["CapacityModel", "ChannelCapacityResult", "required_servers",
+           "solve_channel_capacity"]
+
+
+@dataclass(frozen=True)
+class CapacityModel:
+    """Physical parameters tying the queueing model to the cloud.
+
+    Attributes
+    ----------
+    streaming_rate:
+        Playback rate r in bytes/second.
+    chunk_duration:
+        Playback time T0 of one chunk, seconds. Chunk size is r * T0 bytes.
+    vm_bandwidth:
+        Bandwidth R of one VM in bytes/second; must exceed ``streaming_rate``
+        so a chunk can be fetched within its own playback time.
+    """
+
+    streaming_rate: float
+    chunk_duration: float
+    vm_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.streaming_rate <= 0:
+            raise ValueError(f"streaming rate must be > 0, got {self.streaming_rate}")
+        if self.chunk_duration <= 0:
+            raise ValueError(f"chunk duration must be > 0, got {self.chunk_duration}")
+        if self.vm_bandwidth <= self.streaming_rate:
+            raise ValueError(
+                "VM bandwidth R must exceed the streaming rate r "
+                f"(got R={self.vm_bandwidth}, r={self.streaming_rate})"
+            )
+
+    @property
+    def chunk_size_bytes(self) -> float:
+        """Size of one chunk, r * T0 bytes."""
+        return self.streaming_rate * self.chunk_duration
+
+    @property
+    def service_rate(self) -> float:
+        """mu = R / (r * T0): chunk downloads per second per server."""
+        return self.vm_bandwidth / self.chunk_size_bytes
+
+    @property
+    def mean_download_time(self) -> float:
+        """1/mu, strictly less than T0 by the R > r requirement."""
+        return 1.0 / self.service_rate
+
+
+def required_servers(
+    arrival_rate: float,
+    service_rate: float,
+    target_sojourn: float,
+    *,
+    max_servers: int = 10_000_000,
+) -> int:
+    """Minimal m with a stable M/M/m queue whose mean sojourn <= target.
+
+    Returns 0 when ``arrival_rate`` is 0 (an idle queue needs no capacity).
+    Raises ``ValueError`` when the target is infeasible, i.e. smaller than
+    the bare service time 1/mu (no number of servers can beat that), or if
+    the search exceeds ``max_servers``.
+    """
+    if arrival_rate < 0:
+        raise ValueError(f"arrival rate must be >= 0, got {arrival_rate}")
+    if service_rate <= 0:
+        raise ValueError(f"service rate must be > 0, got {service_rate}")
+    if target_sojourn <= 0:
+        raise ValueError(f"target sojourn must be > 0, got {target_sojourn}")
+    if arrival_rate == 0.0:
+        return 0
+    if target_sojourn < 1.0 / service_rate:
+        raise ValueError(
+            f"target sojourn {target_sojourn} < service time {1.0 / service_rate}; "
+            "no server count can achieve it"
+        )
+
+    offered = arrival_rate / service_rate
+    target_in_system = arrival_rate * target_sojourn  # Little's law
+    m = max(1, math.floor(offered) + 1)  # smallest stable server count
+    # With infinitely many servers E[n] -> offered <= target_in_system,
+    # so the search below terminates.
+    while m <= max_servers:
+        if mmm_expected_number_in_system(m, offered) <= target_in_system + 1e-12:
+            return m
+        m += 1
+    raise ValueError(f"exceeded max_servers={max_servers} searching for capacity")
+
+
+@dataclass(frozen=True)
+class ChannelCapacityResult:
+    """Equilibrium capacity demand for one channel (client-server mode)."""
+
+    model: CapacityModel
+    traffic: TrafficSolution
+    servers: np.ndarray = field(repr=False)  # m_i per chunk queue
+    expected_in_system: np.ndarray = field(repr=False)  # E[n_i]
+
+    @property
+    def arrival_rates(self) -> np.ndarray:
+        return self.traffic.arrival_rates
+
+    @property
+    def upload_bandwidth(self) -> np.ndarray:
+        """s_i = R * m_i, bytes/second per chunk."""
+        return self.model.vm_bandwidth * self.servers
+
+    @property
+    def cloud_demand(self) -> np.ndarray:
+        """Delta_i for the client-server mode (all demand hits the cloud)."""
+        return self.upload_bandwidth
+
+    @property
+    def total_servers(self) -> int:
+        return int(self.servers.sum())
+
+    @property
+    def total_bandwidth(self) -> float:
+        return float(self.upload_bandwidth.sum())
+
+    @property
+    def expected_population(self) -> float:
+        """Expected number of concurrent users in the channel."""
+        return float(self.expected_in_system.sum())
+
+    @property
+    def little_target(self) -> np.ndarray:
+        """Per-queue population target lambda_i * T0 (Little's law at the
+        design sojourn). With surplus capacity the *downloading* population
+        E[n_i] falls below this, but each viewer still occupies the chunk's
+        playback slot — so this is the right per-chunk basis for streaming
+        demand and for chunk ownership in the P2P analysis."""
+        return self.traffic.arrival_rates * self.model.chunk_duration
+
+
+def solve_channel_capacity(
+    model: CapacityModel,
+    transition_matrix: np.ndarray,
+    external_rate: float,
+    *,
+    alpha: float = 0.8,
+    external_rates: Optional[np.ndarray] = None,
+) -> ChannelCapacityResult:
+    """End-to-end capacity analysis of one channel (paper Section IV-B).
+
+    Solves the traffic equations for the channel, then sizes every chunk
+    queue for a mean sojourn time of T0.
+
+    Parameters
+    ----------
+    model:
+        Physical parameters (r, T0, R).
+    transition_matrix:
+        Chunk-transfer matrix P^(c).
+    external_rate:
+        Channel arrival rate Lambda^(c), users/second. Ignored when
+        ``external_rates`` is supplied.
+    alpha:
+        Fraction of arrivals starting at chunk 1.
+    external_rates:
+        Optional explicit per-chunk external arrival vector; overrides the
+        (``external_rate``, ``alpha``) split.
+    """
+    p = np.asarray(transition_matrix, dtype=float)
+    if external_rates is None:
+        ext = external_arrival_vector(p.shape[0], external_rate, alpha)
+    else:
+        ext = np.asarray(external_rates, dtype=float)
+    traffic = solve_traffic_equations(p, ext)
+
+    mu = model.service_rate
+    t0 = model.chunk_duration
+    servers = np.zeros(p.shape[0], dtype=int)
+    in_system = np.zeros(p.shape[0], dtype=float)
+    for i, lam in enumerate(traffic.arrival_rates):
+        m = required_servers(float(lam), mu, t0)
+        servers[i] = m
+        if m > 0 and lam > 0:
+            in_system[i] = mmm_expected_number_in_system(m, lam / mu)
+    return ChannelCapacityResult(
+        model=model, traffic=traffic, servers=servers, expected_in_system=in_system
+    )

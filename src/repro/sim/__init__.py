@@ -1,0 +1,16 @@
+"""Discrete-event simulation substrate.
+
+This package provides the minimal, dependency-free event-driven machinery
+used by the stochastic validation simulators (:mod:`repro.vod.queue_sim`)
+and by the cloud substrate for timed VM lifecycle transitions:
+
+* :mod:`repro.sim.rng` — deterministic, per-component random streams.
+* :mod:`repro.sim.events` — event records and the event priority queue.
+* :mod:`repro.sim.engine` — the simulation clock and run loop.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RandomStreams, make_rng
+
+__all__ = ["Simulator", "Event", "EventQueue", "RandomStreams", "make_rng"]

@@ -1,0 +1,129 @@
+"""The simulation clock and run loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on clock violations (scheduling in the past, etc.)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulation engine.
+
+    The engine owns the clock and the event queue. Components schedule
+    callbacks with :meth:`schedule` (absolute time) or :meth:`schedule_in`
+    (relative delay) and the engine executes them in timestamp order.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self.queue = EventQueue()
+        self.events_processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time} before now={self.now}"
+            )
+        return self.queue.push(time, action, priority=priority, label=label)
+
+    def schedule_in(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {label!r}")
+        return self.schedule(self.now + delay, action, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event."""
+        self.queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the earliest pending event. Return False when empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError("event queue returned an event from the past")
+        self.now = event.time
+        self.events_processed += 1
+        event.action()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so periodic observers can rely
+        on the final clock value.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        processed = 0
+        try:
+            while not self._stop_requested:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self._stop_requested:
+            self.now = until
+
+    def stop(self) -> None:
+        """Request the run loop to halt after the current event."""
+        self._stop_requested = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self.now:.3f}, pending={len(self.queue)}, "
+            f"processed={self.events_processed})"
+        )

@@ -1,0 +1,106 @@
+"""Event records and the event priority queue.
+
+Events are ordered by ``(time, priority, sequence)``. The monotonically
+increasing sequence number makes ordering total and deterministic even when
+many events share a timestamp, which matters for reproducibility.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated time (seconds) at which the event fires.
+    priority:
+        Tie-breaker among events at the same time; lower fires first.
+    seq:
+        Insertion order; makes the ordering total.
+    action:
+        Zero-argument callable executed when the event fires.
+    label:
+        Human-readable tag for tracing and tests.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        if time != time:  # NaN guard
+            raise ValueError("event time must not be NaN")
+        event = Event(time, priority, next(self._counter), action, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live = max(0, self._live - 1)
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+        self._live = 0
+
+    def snapshot(self) -> Tuple[Tuple[float, str], ...]:
+        """Sorted (time, label) pairs of pending events, for diagnostics."""
+        pending = [e for e in self._heap if not e.cancelled]
+        return tuple((e.time, e.label) for e in sorted(pending))

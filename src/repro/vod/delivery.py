@@ -1,0 +1,157 @@
+"""Bandwidth delivery models: client-server and P2P rarest-first.
+
+Per simulation step, a delivery model turns the current per-chunk state of
+one channel into per-chunk *per-user* download rates, and reports how much
+cloud versus peer bandwidth was consumed. Both models cap a single user's
+download rate at the VM bandwidth R, consistent with the queueing analysis
+where one (queueing-theoretic) server serves one user at rate R.
+
+Client-server: every downloader is served from the cloud only; the chunk's
+provisioned cloud capacity is shared equally among its downloaders.
+
+P2P (mesh-pull, rarest-first): peer upload capacity is allocated to chunks
+in increasing order of replication, each chunk drawing from its owners'
+remaining upload; the cloud supplies only the shortfall ("resort to
+streaming servers only when deemed necessary").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.vod.user import UserStore
+
+__all__ = ["DeliveryOutcome", "ClientServerDelivery", "P2PDelivery"]
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """Result of one allocation round for one channel.
+
+    Attributes
+    ----------
+    per_user_rates:
+        Array indexed by chunk: the download rate (bytes/second) each user
+        currently in that chunk queue receives.
+    cloud_used:
+        Total cloud bandwidth consumed (bytes/second).
+    peer_used:
+        Total peer bandwidth consumed (bytes/second).
+    cloud_shortfall:
+        Demand (at per-user cap) that neither peers nor cloud covered.
+    """
+
+    per_user_rates: np.ndarray
+    cloud_used: float
+    peer_used: float
+    cloud_shortfall: float
+
+
+class ClientServerDelivery:
+    """All demand is served by the cloud (paper's C/S mode)."""
+
+    def __init__(self, user_cap: float) -> None:
+        if user_cap <= 0:
+            raise ValueError("per-user rate cap must be > 0")
+        self.user_cap = user_cap
+
+    def allocate(
+        self, store: UserStore, cloud_capacity: np.ndarray
+    ) -> DeliveryOutcome:
+        """Share each chunk's cloud capacity equally among its downloaders."""
+        downloaders = store.downloaders_per_chunk().astype(float)
+        capacity = np.asarray(cloud_capacity, dtype=float)
+        if capacity.shape != downloaders.shape:
+            raise ValueError("cloud capacity must have one entry per chunk")
+        rates = np.zeros_like(capacity)
+        busy = downloaders > 0
+        rates[busy] = np.minimum(self.user_cap, capacity[busy] / downloaders[busy])
+        served = float((rates * downloaders).sum())
+        demand = float(downloaders.sum() * self.user_cap)
+        return DeliveryOutcome(
+            per_user_rates=rates,
+            cloud_used=served,
+            peer_used=0.0,
+            cloud_shortfall=max(0.0, demand - served),
+        )
+
+
+class P2PDelivery:
+    """Mesh-pull P2P with rarest-first peer allocation and cloud top-up."""
+
+    def __init__(self, user_cap: float) -> None:
+        if user_cap <= 0:
+            raise ValueError("per-user rate cap must be > 0")
+        self.user_cap = user_cap
+
+    def allocate(
+        self, store: UserStore, cloud_capacity: np.ndarray
+    ) -> DeliveryOutcome:
+        """Allocate peer upload rarest-first, then top up from the cloud.
+
+        Owner bandwidth committed to a rarer chunk is unavailable to less
+        rare ones, implemented by drawing each chunk's contribution from
+        its owners' *remaining* upload capacity proportionally — the fluid
+        counterpart of the paper's Eqn (5) accounting.
+        """
+        downloaders = store.downloaders_per_chunk().astype(float)
+        capacity = np.asarray(cloud_capacity, dtype=float)
+        if capacity.shape != downloaders.shape:
+            raise ValueError("cloud capacity must have one entry per chunk")
+
+        active = store.active_indices()
+        num_chunks = store.num_chunks
+        rates = np.zeros(num_chunks, dtype=float)
+        if active.size == 0:
+            return DeliveryOutcome(rates, 0.0, 0.0, 0.0)
+
+        owned = store.owned[active]  # (n_active, J) bool
+        remaining = store.upload[active].copy()  # peers' unallocated upload
+        owners_count = owned.sum(axis=0)
+
+        # Rarest first among chunks with both demand and at least one owner.
+        order = np.lexsort((np.arange(num_chunks), owners_count))
+        peer_supply = np.zeros(num_chunks, dtype=float)
+        for chunk in order:
+            if downloaders[chunk] <= 0:
+                continue
+            mask = owned[:, chunk]
+            if not mask.any():
+                continue
+            pool = remaining[mask]
+            available = float(pool.sum())
+            if available <= 0:
+                continue
+            demand = downloaders[chunk] * self.user_cap
+            take = min(demand, available)
+            if take <= 0:
+                continue
+            # Draw proportionally from each owner's remaining capacity.
+            remaining[mask] = pool * (1.0 - take / available)
+            peer_supply[chunk] = take
+
+        cloud_used_per_chunk = np.zeros(num_chunks, dtype=float)
+        busy = downloaders > 0
+        demand_per_chunk = downloaders * self.user_cap
+        shortfall_after_peers = np.maximum(0.0, demand_per_chunk - peer_supply)
+        cloud_used_per_chunk[busy] = np.minimum(
+            capacity[busy], shortfall_after_peers[busy]
+        )
+        total_supply = peer_supply + cloud_used_per_chunk
+        rates[busy] = np.minimum(
+            self.user_cap, total_supply[busy] / downloaders[busy]
+        )
+        delivered = rates * downloaders
+        # Attribute delivered bandwidth to peers first (cloud is the backstop).
+        peer_used = float(np.minimum(peer_supply, delivered).sum())
+        cloud_used = float((delivered - np.minimum(peer_supply, delivered)).sum())
+        shortfall = float(np.maximum(0.0, demand_per_chunk - delivered).sum())
+        return DeliveryOutcome(
+            per_user_rates=rates,
+            cloud_used=cloud_used,
+            peer_used=peer_used,
+            cloud_shortfall=shortfall,
+        )

@@ -1,0 +1,157 @@
+"""Streaming-quality metrics (paper Section VI-B).
+
+The paper's quality metric is "the percentage of users in all the channels
+with smooth playback in the past 5 minutes". A chunk retrieval is smooth
+iff its sojourn time (waiting + downloading) is at most the chunk playback
+time T0; a user is smooth at sample time t iff no unsmooth retrieval
+completed within the trailing window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RetrievalRecord", "QualitySample", "QualityTracker"]
+
+DEFAULT_WINDOW_SECONDS = 300.0  # "the past 5 minutes"
+
+
+@dataclass(frozen=True)
+class RetrievalRecord:
+    """One completed chunk retrieval."""
+
+    time: float
+    channel: int
+    chunk: int
+    sojourn: float
+    smooth: bool
+
+
+@dataclass(frozen=True)
+class QualitySample:
+    """System and per-channel quality at one sample time."""
+
+    time: float
+    quality: float  # fraction of smooth users across all channels, in [0, 1]
+    per_channel: Dict[int, float]
+    per_channel_users: Dict[int, int]
+
+    @property
+    def total_users(self) -> int:
+        return sum(self.per_channel_users.values())
+
+
+class QualityTracker:
+    """Collects retrievals and periodic quality samples.
+
+    The per-user smooth state lives in the simulator's
+    :class:`~repro.vod.user.UserStore` (vectorized); this tracker stores the
+    resulting samples and retrieval summaries for reporting.
+    """
+
+    def __init__(self, window_seconds: float = DEFAULT_WINDOW_SECONDS) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window must be > 0")
+        self.window_seconds = window_seconds
+        self.samples: List[QualitySample] = []
+        self.total_retrievals = 0
+        self.unsmooth_retrievals = 0
+        self._sojourn_sum = 0.0
+        self._per_channel_retrievals: Dict[int, int] = {}
+        self._per_channel_unsmooth: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def record_retrieval(
+        self, time: float, channel: int, chunk: int, sojourn: float, smooth: bool
+    ) -> None:
+        """Account one completed retrieval (aggregates only, O(1) memory)."""
+        self.total_retrievals += 1
+        self._sojourn_sum += sojourn
+        self._per_channel_retrievals[channel] = (
+            self._per_channel_retrievals.get(channel, 0) + 1
+        )
+        if not smooth:
+            self.unsmooth_retrievals += 1
+            self._per_channel_unsmooth[channel] = (
+                self._per_channel_unsmooth.get(channel, 0) + 1
+            )
+
+    def record_sample(
+        self,
+        time: float,
+        per_channel_smooth: Dict[int, int],
+        per_channel_users: Dict[int, int],
+    ) -> QualitySample:
+        """Record a quality sample from per-channel (smooth, total) counts.
+
+        Channels with zero users count as perfectly smooth (quality 1),
+        matching how an operator would read an idle channel.
+        """
+        total_users = sum(per_channel_users.values())
+        total_smooth = sum(per_channel_smooth.values())
+        quality = 1.0 if total_users == 0 else total_smooth / total_users
+        per_channel = {
+            c: (
+                1.0
+                if per_channel_users.get(c, 0) == 0
+                else per_channel_smooth.get(c, 0) / per_channel_users[c]
+            )
+            for c in per_channel_users
+        }
+        sample = QualitySample(
+            time=time,
+            quality=quality,
+            per_channel=per_channel,
+            per_channel_users=dict(per_channel_users),
+        )
+        self.samples.append(sample)
+        return sample
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def average_quality(self) -> float:
+        """Time-average of the system quality samples (Fig 5's 'avg')."""
+        if not self.samples:
+            return 1.0
+        return float(np.mean([s.quality for s in self.samples]))
+
+    @property
+    def smooth_retrieval_fraction(self) -> float:
+        if self.total_retrievals == 0:
+            return 1.0
+        return 1.0 - self.unsmooth_retrievals / self.total_retrievals
+
+    @property
+    def mean_sojourn(self) -> float:
+        if self.total_retrievals == 0:
+            return 0.0
+        return self._sojourn_sum / self.total_retrievals
+
+    def quality_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, qualities) arrays for plotting Fig 5."""
+        times = np.asarray([s.time for s in self.samples])
+        quality = np.asarray([s.quality for s in self.samples])
+        return times, quality
+
+    def channel_size_quality_points(
+        self, min_users: int = 1
+    ) -> List[Tuple[int, float]]:
+        """(channel size, channel quality) scatter points (Fig 6)."""
+        points: List[Tuple[int, float]] = []
+        for sample in self.samples:
+            for channel, users in sample.per_channel_users.items():
+                if users >= min_users:
+                    points.append((users, sample.per_channel[channel]))
+        return points
+
+    def channel_retrieval_summary(self, channel: int) -> Tuple[int, int]:
+        """(retrievals, unsmooth retrievals) for one channel."""
+        return (
+            self._per_channel_retrievals.get(channel, 0),
+            self._per_channel_unsmooth.get(channel, 0),
+        )

@@ -1,0 +1,129 @@
+"""Mesh overlay construction and churn (paper Section III-B).
+
+Peers watching the same channel are organized into a mesh: on join (or on a
+seek to a new position) a peer asks the tracker for neighbors and connects
+to up to ``max_degree`` of them; on departure its edges are torn down.
+Buffer-availability bitmaps travel over these edges in the real protocol.
+
+The fluid simulator uses tracker-level (global) chunk availability, which
+matches the paper's design — the tracker knows exactly which peers hold
+which chunks and returns matching neighbor lists — so the overlay's role in
+the reproduction is structural: join/leave dynamics, degree statistics, and
+partition checks exercised by the tests and the overlay example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+import numpy as np
+
+__all__ = ["MeshOverlay"]
+
+
+class MeshOverlay:
+    """An undirected bounded-degree mesh for one channel."""
+
+    def __init__(self, max_degree: int = 8, *, rng: np.random.Generator = None) -> None:
+        if max_degree <= 0:
+            raise ValueError("max_degree must be > 0")
+        self.max_degree = max_degree
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.neighbors: Dict[int, Set[int]] = {}
+
+    def __contains__(self, peer: int) -> bool:
+        return peer in self.neighbors
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def _select(self, peer: int, candidates: Iterable[int], need: int) -> None:
+        """Connect ``peer`` to up to ``need`` candidates.
+
+        Candidates with spare degree are preferred; if none are available
+        the peer still gets one edge to a saturated candidate — a soft cap
+        that prevents newcomers from being partitioned off (real mesh
+        protocols do the same).
+        """
+        known = [
+            c
+            for c in candidates
+            if c != peer and c in self.neighbors and c not in self.neighbors[peer]
+        ]
+        preferred = [c for c in known if len(self.neighbors[c]) < self.max_degree]
+        saturated = [c for c in known if len(self.neighbors[c]) >= self.max_degree]
+        if preferred and need > 0:
+            take = min(need, len(preferred))
+            chosen = self.rng.choice(len(preferred), size=take, replace=False)
+            for idx in chosen:
+                self._connect(peer, preferred[int(idx)])
+        if not self.neighbors[peer] and saturated:
+            fallback = saturated[int(self.rng.integers(0, len(saturated)))]
+            self._connect(peer, fallback)
+
+    def join(self, peer: int, candidates: Iterable[int] = ()) -> List[int]:
+        """Add ``peer`` and connect it to up to ``max_degree`` candidates.
+
+        Returns the neighbor list actually connected.
+        """
+        if peer in self.neighbors:
+            raise ValueError(f"peer {peer} already in overlay")
+        self.neighbors[peer] = set()
+        self._select(peer, candidates, self.max_degree)
+        return sorted(self.neighbors[peer])
+
+    def leave(self, peer: int) -> None:
+        """Remove ``peer`` and all its edges."""
+        if peer not in self.neighbors:
+            return
+        for other in list(self.neighbors[peer]):
+            self.neighbors[other].discard(peer)
+        del self.neighbors[peer]
+
+    def _connect(self, a: int, b: int) -> None:
+        self.neighbors[a].add(b)
+        self.neighbors[b].add(a)
+
+    def rewire(self, peer: int, candidates: Iterable[int]) -> List[int]:
+        """Top a peer's neighbor set back up after churn."""
+        if peer not in self.neighbors:
+            raise KeyError(f"peer {peer} not in overlay")
+        need = self.max_degree - len(self.neighbors[peer])
+        self._select(peer, candidates, need)
+        return sorted(self.neighbors[peer])
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def degree(self, peer: int) -> int:
+        return len(self.neighbors.get(peer, ()))
+
+    def mean_degree(self) -> float:
+        if not self.neighbors:
+            return 0.0
+        return float(np.mean([len(n) for n in self.neighbors.values()]))
+
+    def connected_components(self) -> List[Set[int]]:
+        """Connected components via BFS (partition diagnostics)."""
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in self.neighbors:
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for nbr in self.neighbors[node]:
+                    if nbr not in component:
+                        component.add(nbr)
+                        frontier.append(nbr)
+            seen |= component
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) <= 1

@@ -1,0 +1,355 @@
+"""Time-stepped fluid VoD simulator (the paper's testbed, in simulation).
+
+The simulator advances in fixed steps of ``dt`` simulated seconds. Each
+step it:
+
+1. admits arriving sessions from the workload trace (tracker notified);
+2. runs the channel's delivery model (client-server or P2P) to get
+   per-chunk per-user download rates given the currently provisioned cloud
+   capacity;
+3. advances all active downloads and handles completions: a retrieval is
+   smooth iff its sojourn was at most ``sojourn_slack * T0``; the user then
+   moves to the next chunk sampled from the channel's behaviour matrix (the
+   tracker observing the transition) or departs;
+4. samples the streaming-quality metric on its 5-minute grid.
+
+Cloud capacity per chunk is an input (set by the provisioning controller
+between intervals), making the simulator composable with
+:mod:`repro.core.provisioner` for closed-loop experiments, or usable with
+fixed capacity for open-loop analysis validation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+from repro.vod.channel import ChannelSpec
+from repro.vod.delivery import ClientServerDelivery, P2PDelivery
+from repro.vod.metrics import QualityTracker
+from repro.vod.tracker import TrackingServer
+from repro.vod.user import UserStore
+from repro.workload.trace import Session, Trace
+
+__all__ = ["VoDSystemConfig", "VoDSimulator", "SimulationResult", "BandwidthSample"]
+
+
+@dataclass(frozen=True)
+class VoDSystemConfig:
+    """Simulator parameters.
+
+    Attributes
+    ----------
+    mode:
+        ``"client-server"`` or ``"p2p"``.
+    dt:
+        Step length in simulated seconds. Must divide the quality sample
+        interval reasonably; 5-30 s is a good range.
+    user_rate_cap:
+        Per-user download cap, normally the VM bandwidth R.
+    quality_window / quality_sample_interval:
+        The "smooth in the past 5 minutes" metric parameters.
+    sojourn_slack:
+        A retrieval is smooth iff sojourn <= slack * T0. The paper's
+        criterion is slack = 1.
+    seed:
+        Master seed for behaviour sampling.
+    """
+
+    mode: str = "client-server"
+    dt: float = 10.0
+    user_rate_cap: float = 10e6 / 8.0
+    quality_window: float = 300.0
+    quality_sample_interval: float = 300.0
+    sojourn_slack: float = 1.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("client-server", "p2p"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.dt <= 0:
+            raise ValueError("dt must be > 0")
+        if self.user_rate_cap <= 0:
+            raise ValueError("user_rate_cap must be > 0")
+        if self.quality_window <= 0 or self.quality_sample_interval <= 0:
+            raise ValueError("quality parameters must be > 0")
+        if self.sojourn_slack <= 0:
+            raise ValueError("sojourn_slack must be > 0")
+
+
+@dataclass(frozen=True)
+class BandwidthSample:
+    """Aggregate bandwidth usage over one step."""
+
+    time: float
+    cloud_used: float  # bytes/second
+    peer_used: float  # bytes/second
+    provisioned: float  # bytes/second (sum of per-chunk capacities)
+    shortfall: float
+
+
+@dataclass
+class SimulationResult:
+    """Everything an experiment needs after a run."""
+
+    config: VoDSystemConfig
+    quality: QualityTracker
+    bandwidth: List[BandwidthSample]
+    arrivals: int
+    departures: int
+    final_population: int
+
+    def bandwidth_series(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(times, cloud_used, peer_used) arrays, bytes/second."""
+        t = np.asarray([s.time for s in self.bandwidth])
+        cloud = np.asarray([s.cloud_used for s in self.bandwidth])
+        peer = np.asarray([s.peer_used for s in self.bandwidth])
+        return t, cloud, peer
+
+    def mean_cloud_bandwidth(self) -> float:
+        if not self.bandwidth:
+            return 0.0
+        return float(np.mean([s.cloud_used for s in self.bandwidth]))
+
+
+class VoDSimulator:
+    """The multi-channel VoD system under simulation."""
+
+    def __init__(
+        self,
+        channels: Sequence[ChannelSpec],
+        trace: Trace,
+        config: VoDSystemConfig,
+        *,
+        tracker: Optional[TrackingServer] = None,
+    ) -> None:
+        if not channels:
+            raise ValueError("need at least one channel")
+        self.channels = list(channels)
+        self.config = config
+        self.now = 0.0
+        self._streams = RandomStreams(config.seed)
+
+        self.stores: Dict[int, UserStore] = {
+            ch.channel_id: UserStore(ch.num_chunks) for ch in self.channels
+        }
+        if config.mode == "client-server":
+            self.delivery = {
+                ch.channel_id: ClientServerDelivery(config.user_rate_cap)
+                for ch in self.channels
+            }
+        else:
+            self.delivery = {
+                ch.channel_id: P2PDelivery(config.user_rate_cap)
+                for ch in self.channels
+            }
+        self.cloud_capacity: Dict[int, np.ndarray] = {
+            ch.channel_id: np.zeros(ch.num_chunks) for ch in self.channels
+        }
+        self.tracker = tracker or TrackingServer(
+            num_channels=len(self.channels),
+            chunks_per_channel=[ch.num_chunks for ch in self.channels],
+        )
+        self.quality = QualityTracker(config.quality_window)
+        self.bandwidth: List[BandwidthSample] = []
+        self.arrivals = 0
+        self.departures = 0
+
+        # Sessions sorted by arrival; consume with a cursor.
+        self._sessions: List[Session] = sorted(
+            trace.sessions, key=lambda s: s.arrival_time
+        )
+        self._session_times = [s.arrival_time for s in self._sessions]
+        self._cursor = 0
+        self._next_quality_sample = config.quality_sample_interval
+
+        # Precompute per-channel behaviour sampling tables:
+        # row-wise cumulative probabilities with departure as the last bin.
+        self._cumulative: Dict[int, np.ndarray] = {}
+        for ch in self.channels:
+            p = np.asarray(ch.behaviour, dtype=float)
+            cum = np.cumsum(p, axis=1)
+            self._cumulative[ch.channel_id] = cum
+
+    # ------------------------------------------------------------------
+    # External control surface
+    # ------------------------------------------------------------------
+    def set_cloud_capacity(self, channel_id: int, capacity: np.ndarray) -> None:
+        """Install the provisioned per-chunk cloud bandwidth (bytes/s)."""
+        spec = self._channel(channel_id)
+        cap = np.asarray(capacity, dtype=float)
+        if cap.shape != (spec.num_chunks,):
+            raise ValueError(
+                f"capacity must have {spec.num_chunks} entries, got {cap.shape}"
+            )
+        if np.any(cap < 0):
+            raise ValueError("capacities must be nonnegative")
+        self.cloud_capacity[channel_id] = cap
+
+    def total_provisioned(self) -> float:
+        return float(sum(cap.sum() for cap in self.cloud_capacity.values()))
+
+    def population(self) -> int:
+        return sum(store.num_active for store in self.stores.values())
+
+    def channel_populations(self) -> Dict[int, int]:
+        return {cid: store.num_active for cid, store in self.stores.items()}
+
+    def mean_peer_upload(self) -> float:
+        """Mean upload capacity over all active peers (bytes/second)."""
+        total = 0.0
+        count = 0
+        for store in self.stores.values():
+            idx = store.active_indices()
+            total += float(store.upload[idx].sum())
+            count += int(idx.size)
+        return total / count if count else 0.0
+
+    def _channel(self, channel_id: int) -> ChannelSpec:
+        for ch in self.channels:
+            if ch.channel_id == channel_id:
+                return ch
+        raise KeyError(f"unknown channel {channel_id}")
+
+    # ------------------------------------------------------------------
+    # Core loop
+    # ------------------------------------------------------------------
+    def _admit_arrivals(self) -> None:
+        end = bisect.bisect_right(self._session_times, self.now, lo=self._cursor)
+        for session in self._sessions[self._cursor : end]:
+            store = self.stores.get(session.channel)
+            if store is None:
+                continue  # trace may cover more channels than this system
+            store.add_user(self.now, session.start_chunk, session.upload_capacity)
+            self.tracker.record_arrival(
+                session.channel, session.start_chunk, session.upload_capacity
+            )
+            self.arrivals += 1
+        self._cursor = end
+
+    def _sample_transition(self, channel_id: int, chunk: int) -> int:
+        """Next chunk index, or -1 for departure."""
+        cum = self._cumulative[channel_id][chunk]
+        u = self._streams.get("behaviour", str(channel_id)).random()
+        if u >= cum[-1]:
+            return -1
+        return int(np.searchsorted(cum, u, side="right"))
+
+    def _handle_completions(self, spec: ChannelSpec, store: UserStore) -> None:
+        chunk_size = spec.chunk_size_bytes
+        t0 = spec.chunk_duration
+        done = store.completed(chunk_size)
+        for uid in done:
+            enter = float(store.enter_time[uid])
+            sojourn = self.now - enter
+            smooth = sojourn <= self.config.sojourn_slack * t0 + 1e-9
+            finished = store.complete_chunk(int(uid), self.now, smooth)
+            self.quality.record_retrieval(
+                self.now, spec.channel_id, finished, sojourn, smooth
+            )
+            nxt = self._sample_transition(spec.channel_id, finished)
+            # Playback pacing: the chunk's playback slot ends at
+            # enter + max(T0, sojourn); a fast download leaves the user
+            # watching (holding) until then, a slow one moves on at once.
+            release = enter + max(t0, sojourn)
+            if release <= self.now + 1e-9:
+                self._apply_transition(spec, store, int(uid), finished, nxt)
+            else:
+                store.begin_hold(int(uid), release, nxt, finished)
+
+    def _apply_transition(
+        self,
+        spec: ChannelSpec,
+        store: UserStore,
+        uid: int,
+        finished: int,
+        nxt: int,
+    ) -> None:
+        if nxt < 0:
+            store.depart(uid)
+            self.tracker.record_departure(spec.channel_id, finished)
+            self.departures += 1
+        else:
+            store.start_chunk_download(uid, nxt, self.now)
+            self.tracker.record_transition(spec.channel_id, finished, nxt)
+
+    def _release_holds(self, spec: ChannelSpec, store: UserStore) -> None:
+        for uid in store.due_holds(self.now):
+            self._apply_transition(
+                spec,
+                store,
+                int(uid),
+                int(store.hold_from[uid]),
+                int(store.hold_next[uid]),
+            )
+
+    def _sample_quality(self) -> None:
+        smooth_counts: Dict[int, int] = {}
+        user_counts: Dict[int, int] = {}
+        for spec in self.channels:
+            store = self.stores[spec.channel_id]
+            smooth, total = store.smooth_users(
+                self.now,
+                self.config.quality_window,
+                overdue_after=self.config.sojourn_slack * spec.chunk_duration,
+            )
+            smooth_counts[spec.channel_id] = smooth
+            user_counts[spec.channel_id] = total
+        self.quality.record_sample(self.now, smooth_counts, user_counts)
+
+    def step(self) -> BandwidthSample:
+        """Advance one ``dt`` step; returns the step's bandwidth sample."""
+        dt = self.config.dt
+        self.now += dt
+        self._admit_arrivals()
+
+        cloud_used = 0.0
+        peer_used = 0.0
+        shortfall = 0.0
+        for spec in self.channels:
+            store = self.stores[spec.channel_id]
+            self._release_holds(spec, store)
+            outcome = self.delivery[spec.channel_id].allocate(
+                store, self.cloud_capacity[spec.channel_id]
+            )
+            store.advance_downloads(outcome.per_user_rates, dt)
+            self._handle_completions(spec, store)
+            cloud_used += outcome.cloud_used
+            peer_used += outcome.peer_used
+            shortfall += outcome.cloud_shortfall
+
+        sample = BandwidthSample(
+            time=self.now,
+            cloud_used=cloud_used,
+            peer_used=peer_used,
+            provisioned=self.total_provisioned(),
+            shortfall=shortfall,
+        )
+        self.bandwidth.append(sample)
+
+        if self.now + 1e-9 >= self._next_quality_sample:
+            self._sample_quality()
+            self._next_quality_sample += self.config.quality_sample_interval
+        return sample
+
+    def advance_to(self, until: float) -> None:
+        """Run steps until the clock reaches (or passes) ``until``."""
+        if until < self.now:
+            raise ValueError(f"cannot advance backwards to {until} < {self.now}")
+        while self.now + 1e-9 < until:
+            self.step()
+
+    def result(self) -> SimulationResult:
+        """Snapshot the run's outputs."""
+        return SimulationResult(
+            config=self.config,
+            quality=self.quality,
+            bandwidth=list(self.bandwidth),
+            arrivals=self.arrivals,
+            departures=self.departures,
+            final_population=self.population(),
+        )

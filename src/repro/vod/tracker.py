@@ -1,0 +1,167 @@
+"""The tracking server (paper Sections IV-C and V-B).
+
+The tracker maintains, per channel, the peer lists and chunk-availability
+bitmaps the P2P protocol needs, and accumulates the per-interval statistics
+the provisioning controller consumes at the end of every interval T:
+
+* the average external user arrival rate Lambda^(c);
+* observed chunk-to-chunk transition and departure counts (from which the
+  controller estimates the viewing pattern P^(c));
+* the mean peer upload capacity (for the Eqn (5) contribution estimate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["IntervalStats", "TrackingServer", "CloudEntryTicket"]
+
+
+@dataclass(frozen=True)
+class CloudEntryTicket:
+    """The 3-tuple the tracker hands a peer with insufficient peer supply:
+    a cloud entry point address, candidate ports, and a ticket the entry
+    point verifies before port-forwarding to a serving VM."""
+
+    entry_ip: str
+    ports: List[int]
+    ticket: str
+
+
+@dataclass
+class IntervalStats:
+    """Per-channel statistics for one completed provisioning interval."""
+
+    channel_id: int
+    interval_seconds: float
+    arrivals: int = 0
+    transition_counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+    departure_counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+    upload_capacity_sum: float = 0.0
+    upload_capacity_samples: int = 0
+    start_chunk_counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    @property
+    def arrival_rate(self) -> float:
+        """Average external arrival rate over the interval, users/second."""
+        return self.arrivals / self.interval_seconds
+
+    @property
+    def mean_upload_capacity(self) -> float:
+        if self.upload_capacity_samples == 0:
+            return 0.0
+        return self.upload_capacity_sum / self.upload_capacity_samples
+
+    @property
+    def observed_alpha(self) -> float:
+        """Fraction of arrivals that started at chunk 0 (estimates alpha)."""
+        total = int(self.start_chunk_counts.sum())
+        if total == 0:
+            return 1.0
+        return float(self.start_chunk_counts[0]) / total
+
+
+class TrackingServer:
+    """Accumulates observations and closes them out per interval.
+
+    Parameters
+    ----------
+    num_channels:
+        Number of channels tracked.
+    chunks_per_channel:
+        J^(c) for each channel (list-indexed by channel id).
+    interval_seconds:
+        The provisioning interval T (paper default: one hour).
+    """
+
+    def __init__(
+        self,
+        num_channels: int,
+        chunks_per_channel: List[int],
+        interval_seconds: float = 3600.0,
+        *,
+        entry_ip: str = "10.0.0.1",
+    ) -> None:
+        if num_channels <= 0:
+            raise ValueError("need at least one channel")
+        if len(chunks_per_channel) != num_channels:
+            raise ValueError("need one chunk count per channel")
+        if interval_seconds <= 0:
+            raise ValueError("interval must be > 0")
+        self.num_channels = num_channels
+        self.chunks_per_channel = list(chunks_per_channel)
+        self.interval_seconds = interval_seconds
+        self.entry_ip = entry_ip
+        self._ticket_counter = 0
+        self._stats = [self._fresh_stats(c) for c in range(num_channels)]
+        self.history: List[List[IntervalStats]] = [[] for _ in range(num_channels)]
+
+    def _fresh_stats(self, channel_id: int) -> IntervalStats:
+        j = self.chunks_per_channel[channel_id]
+        return IntervalStats(
+            channel_id=channel_id,
+            interval_seconds=self.interval_seconds,
+            transition_counts=np.zeros((j, j), dtype=float),
+            departure_counts=np.zeros(j, dtype=float),
+            start_chunk_counts=np.zeros(j, dtype=float),
+        )
+
+    def empty_stats(self, channel_id: int) -> IntervalStats:
+        """A zero-observation stats record (used for bootstrap estimates)."""
+        return self._fresh_stats(channel_id)
+
+    # ------------------------------------------------------------------
+    # Observations (called by the simulator)
+    # ------------------------------------------------------------------
+    def record_arrival(
+        self, channel_id: int, start_chunk: int, upload_capacity: float
+    ) -> None:
+        stats = self._stats[channel_id]
+        stats.arrivals += 1
+        stats.start_chunk_counts[start_chunk] += 1
+        stats.upload_capacity_sum += upload_capacity
+        stats.upload_capacity_samples += 1
+
+    def record_transition(self, channel_id: int, from_chunk: int, to_chunk: int) -> None:
+        self._stats[channel_id].transition_counts[from_chunk, to_chunk] += 1
+
+    def record_departure(self, channel_id: int, from_chunk: int) -> None:
+        self._stats[channel_id].departure_counts[from_chunk] += 1
+
+    # ------------------------------------------------------------------
+    # P2P protocol surface
+    # ------------------------------------------------------------------
+    def issue_cloud_ticket(self) -> CloudEntryTicket:
+        """Hand out a cloud entry ticket (insufficient peer supply path)."""
+        self._ticket_counter += 1
+        return CloudEntryTicket(
+            entry_ip=self.entry_ip,
+            ports=[9000 + (self._ticket_counter % 16)],
+            ticket=f"tkt-{self._ticket_counter:08d}",
+        )
+
+    @property
+    def tickets_issued(self) -> int:
+        return self._ticket_counter
+
+    # ------------------------------------------------------------------
+    # Interval close-out (called by the controller every T)
+    # ------------------------------------------------------------------
+    def close_interval(self) -> List[IntervalStats]:
+        """Return this interval's statistics and start a fresh interval."""
+        closed = self._stats
+        for stats in closed:
+            self.history[stats.channel_id].append(stats)
+        self._stats = [self._fresh_stats(c) for c in range(self.num_channels)]
+        return closed
+
+    def current_arrival_counts(self) -> List[int]:
+        """Arrivals so far in the open interval (for diagnostics)."""
+        return [s.arrivals for s in self._stats]
+
+    def last_closed(self, channel_id: int) -> Optional[IntervalStats]:
+        hist = self.history[channel_id]
+        return hist[-1] if hist else None

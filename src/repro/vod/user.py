@@ -1,0 +1,242 @@
+"""Per-channel user state stores.
+
+The fluid simulator tracks, for every active user: the chunk currently
+being downloaded, bytes received of it, queue-entry time, upload capacity,
+and the set of chunks buffered so far. A struct-of-arrays layout keeps the
+per-step hot path (progress updates, per-chunk demand counts, peer supply
+aggregation) vectorized, which is what makes paper-scale runs (~2500
+concurrent users over a week) tractable in Python.
+
+A user is in exactly one of two phases:
+
+* ``chunk >= 0`` — downloading that chunk (a job in its queue);
+* ``chunk == HOLDING`` — the download finished before the chunk's playback
+  slot ended, so the user is watching until ``hold_until``, then moves to
+  ``hold_next`` (or departs). This playback pacing is what keeps session
+  durations tied to the video length rather than to raw bandwidth, and is
+  exactly the regime in which the paper's "mean sojourn = T0" equilibrium
+  is self-consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["UserStore", "HOLDING"]
+
+_GROW = 256  # slots added per growth step
+
+HOLDING = -2  # chunk sentinel: user is watching, not downloading
+_DEPART = -1  # hold_next sentinel: leave the channel when the hold expires
+
+
+class UserStore:
+    """State of all users (past and present) of one channel.
+
+    Rows are user slots; a slot stays allocated after departure (``active``
+    becomes False) so user ids remain stable for the tracker and overlay.
+    """
+
+    def __init__(self, num_chunks: int, capacity: int = _GROW) -> None:
+        if num_chunks <= 0:
+            raise ValueError("need at least one chunk")
+        self.num_chunks = num_chunks
+        self._size = 0
+        cap = max(1, capacity)
+        self.active = np.zeros(cap, dtype=bool)
+        self.chunk = np.full(cap, -1, dtype=np.int64)
+        self.received = np.zeros(cap, dtype=float)
+        self.enter_time = np.zeros(cap, dtype=float)
+        self.arrival_time = np.zeros(cap, dtype=float)
+        self.upload = np.zeros(cap, dtype=float)
+        self.owned = np.zeros((cap, num_chunks), dtype=bool)
+        self.last_unsmooth = np.full(cap, -np.inf, dtype=float)
+        self.retrievals = np.zeros(cap, dtype=np.int64)
+        self.unsmooth_retrievals = np.zeros(cap, dtype=np.int64)
+        self.hold_until = np.zeros(cap, dtype=float)
+        self.hold_next = np.full(cap, _DEPART, dtype=np.int64)
+        self.hold_from = np.full(cap, -1, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_active(self) -> int:
+        return int(self.active[: self._size].sum())
+
+    def _grow(self) -> None:
+        extra = max(_GROW, self.active.size // 2)
+        self.active = np.concatenate([self.active, np.zeros(extra, dtype=bool)])
+        self.chunk = np.concatenate([self.chunk, np.full(extra, -1, dtype=np.int64)])
+        for name in ("received", "enter_time", "arrival_time", "upload"):
+            arr = getattr(self, name)
+            setattr(self, name, np.concatenate([arr, np.zeros(extra, dtype=float)]))
+        self.owned = np.concatenate(
+            [self.owned, np.zeros((extra, self.num_chunks), dtype=bool)]
+        )
+        self.last_unsmooth = np.concatenate(
+            [self.last_unsmooth, np.full(extra, -np.inf, dtype=float)]
+        )
+        self.retrievals = np.concatenate(
+            [self.retrievals, np.zeros(extra, dtype=np.int64)]
+        )
+        self.unsmooth_retrievals = np.concatenate(
+            [self.unsmooth_retrievals, np.zeros(extra, dtype=np.int64)]
+        )
+        self.hold_until = np.concatenate(
+            [self.hold_until, np.zeros(extra, dtype=float)]
+        )
+        self.hold_next = np.concatenate(
+            [self.hold_next, np.full(extra, _DEPART, dtype=np.int64)]
+        )
+        self.hold_from = np.concatenate(
+            [self.hold_from, np.full(extra, -1, dtype=np.int64)]
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_user(self, now: float, start_chunk: int, upload_capacity: float) -> int:
+        """Register an arriving user; returns the user id (row index)."""
+        if not 0 <= start_chunk < self.num_chunks:
+            raise ValueError(f"start chunk {start_chunk} out of range")
+        if upload_capacity < 0:
+            raise ValueError("upload capacity must be >= 0")
+        if self._size == self.active.size:
+            self._grow()
+        uid = self._size
+        self._size += 1
+        self.active[uid] = True
+        self.chunk[uid] = start_chunk
+        self.received[uid] = 0.0
+        self.enter_time[uid] = now
+        self.arrival_time[uid] = now
+        self.upload[uid] = upload_capacity
+        self.owned[uid, :] = False
+        self.last_unsmooth[uid] = -np.inf
+        self.retrievals[uid] = 0
+        self.unsmooth_retrievals[uid] = 0
+        return uid
+
+    def start_chunk_download(self, uid: int, chunk: int, now: float) -> None:
+        """Move a user into chunk queue ``chunk`` at time ``now``."""
+        self.chunk[uid] = chunk
+        self.received[uid] = 0.0
+        self.enter_time[uid] = now
+
+    def complete_chunk(self, uid: int, now: float, smooth: bool) -> int:
+        """Record a finished retrieval; returns the finished chunk index."""
+        finished = int(self.chunk[uid])
+        self.owned[uid, finished] = True
+        self.retrievals[uid] += 1
+        if not smooth:
+            self.unsmooth_retrievals[uid] += 1
+            self.last_unsmooth[uid] = now
+        return finished
+
+    def begin_hold(self, uid: int, until: float, next_chunk: int, from_chunk: int) -> None:
+        """Put a user into the watching phase until ``until``.
+
+        ``next_chunk`` is the queue to enter when the hold expires, or -1
+        to depart; ``from_chunk`` records where the transition originated
+        (for the tracker).
+        """
+        self.chunk[uid] = HOLDING
+        self.hold_until[uid] = until
+        self.hold_next[uid] = next_chunk
+        self.hold_from[uid] = from_chunk
+
+    def due_holds(self, now: float) -> np.ndarray:
+        """Active user ids whose watching phase has ended."""
+        idx = self.active_indices()
+        if idx.size == 0:
+            return idx
+        holding = idx[self.chunk[idx] == HOLDING]
+        return holding[self.hold_until[holding] <= now + 1e-9]
+
+    def depart(self, uid: int) -> None:
+        """Deactivate a user (buffer contents become unavailable)."""
+        self.active[uid] = False
+        self.chunk[uid] = -1
+
+    # ------------------------------------------------------------------
+    # Vectorized queries (hot path)
+    # ------------------------------------------------------------------
+    def active_indices(self) -> np.ndarray:
+        return np.nonzero(self.active[: self._size])[0]
+
+    def downloading_indices(self) -> np.ndarray:
+        """Active user ids currently in a chunk queue (not watching)."""
+        idx = self.active_indices()
+        if idx.size == 0:
+            return idx
+        return idx[self.chunk[idx] >= 0]
+
+    def downloaders_per_chunk(self) -> np.ndarray:
+        """Number of active users currently downloading each chunk."""
+        idx = self.downloading_indices()
+        if idx.size == 0:
+            return np.zeros(self.num_chunks, dtype=np.int64)
+        return np.bincount(self.chunk[idx], minlength=self.num_chunks)
+
+    def owners_per_chunk(self) -> np.ndarray:
+        """Number of active users whose buffer holds each chunk."""
+        idx = self.active_indices()
+        if idx.size == 0:
+            return np.zeros(self.num_chunks, dtype=np.int64)
+        return self.owned[idx].sum(axis=0)
+
+    def ownership_matrix(self) -> np.ndarray:
+        """Boolean (active users x chunks) buffer matrix (tracker bitmap)."""
+        return self.owned[self.active_indices()]
+
+    def advance_downloads(self, rates: np.ndarray, dt: float) -> np.ndarray:
+        """Add ``rates[chunk]*dt`` bytes to every active download.
+
+        ``rates`` is the per-chunk *per-user* delivery rate. Watching
+        (holding) users are unaffected. Returns the downloading user ids
+        that were advanced; see :meth:`completed` for completions.
+        """
+        idx = self.downloading_indices()
+        if idx.size == 0:
+            return idx
+        self.received[idx] += rates[self.chunk[idx]] * dt
+        return idx
+
+    def completed(self, chunk_size: float) -> np.ndarray:
+        """Downloading user ids whose current download has finished."""
+        idx = self.downloading_indices()
+        if idx.size == 0:
+            return idx
+        return idx[self.received[idx] >= chunk_size - 1e-9]
+
+    def smooth_users(
+        self, now: float, window: float, overdue_after: Optional[float] = None
+    ) -> Tuple[int, int]:
+        """(smooth, total) active users for the quality metric.
+
+        A user is smooth iff no unsmooth retrieval completed within
+        ``(now - window, now]`` and, when ``overdue_after`` is given, their
+        in-flight download has not yet been outstanding longer than that —
+        a stalled user counts as unsmooth *now*, without waiting for the
+        retrieval to eventually finish.
+        """
+        idx = self.active_indices()
+        if idx.size == 0:
+            return 0, 0
+        ok = self.last_unsmooth[idx] <= now - window
+        if overdue_after is not None:
+            overdue = (self.chunk[idx] >= 0) & (
+                now - self.enter_time[idx] > overdue_after
+            )
+            ok &= ~overdue
+        return int(np.sum(ok)), int(idx.size)
+
+    def total_upload_capacity(self) -> float:
+        idx = self.active_indices()
+        return float(self.upload[idx].sum()) if idx.size else 0.0
+
+    def active_user_ids(self) -> List[int]:
+        return [int(i) for i in self.active_indices()]

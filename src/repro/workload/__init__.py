@@ -1,0 +1,51 @@
+"""Synthetic VoD workload generation (paper Section VI-A).
+
+The paper drives its testbed with a synthetic trace matching measured
+PPLive-VoD characteristics; this package regenerates an equivalent trace:
+
+* :mod:`repro.workload.zipf` — Zipf-like channel popularity.
+* :mod:`repro.workload.diurnal` — daily arrival-rate pattern with two flash
+  crowds (around noon and in the evening).
+* :mod:`repro.workload.pareto` — bounded Pareto peer upload capacities
+  ([180 kbps, 10 Mbps], shape k = 3).
+* :mod:`repro.workload.arrivals` — (non-)homogeneous Poisson arrival
+  sampling.
+* :mod:`repro.workload.trace` — assembled traces (sessions with channel,
+  arrival time, start position, upload capacity) plus JSON serialization.
+"""
+
+from repro.workload.arrivals import (
+    poisson_arrival_times,
+    nonhomogeneous_poisson_times,
+    interval_rates,
+)
+from repro.workload.diurnal import DiurnalPattern
+from repro.workload.pareto import BoundedPareto
+from repro.workload.tools import (
+    merge_traces,
+    scale_trace,
+    shift_trace,
+    slice_trace,
+    thin_trace,
+)
+from repro.workload.trace import Session, Trace, TraceConfig, generate_trace
+from repro.workload.zipf import zipf_weights, assign_channel_rates
+
+__all__ = [
+    "poisson_arrival_times",
+    "nonhomogeneous_poisson_times",
+    "interval_rates",
+    "DiurnalPattern",
+    "BoundedPareto",
+    "Session",
+    "Trace",
+    "TraceConfig",
+    "generate_trace",
+    "zipf_weights",
+    "assign_channel_rates",
+    "merge_traces",
+    "scale_trace",
+    "shift_trace",
+    "slice_trace",
+    "thin_trace",
+]

@@ -1,0 +1,110 @@
+"""Trace manipulation utilities.
+
+Operators commonly need to reshape a recorded workload before replaying
+it: scale its intensity, cut out a time window, merge traces from several
+sources, or shift it in time (e.g. to emulate a different launch hour).
+All operations are pure (they return new traces).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+from repro.workload.trace import Session, Trace
+
+__all__ = ["scale_trace", "slice_trace", "merge_traces", "shift_trace",
+           "thin_trace"]
+
+
+def _rebuild(trace: Trace, sessions, note: str) -> Trace:
+    summary = dict(trace.config_summary)
+    summary["num_sessions"] = len(sessions)
+    summary["derived"] = summary.get("derived", "") + note
+    return Trace(config_summary=summary, sessions=sessions)
+
+
+def scale_trace(trace: Trace, factor: float, *, seed: int = 0) -> Trace:
+    """Scale arrival intensity by ``factor``.
+
+    ``factor < 1`` thins sessions independently (exact Poisson thinning);
+    ``factor >= 1`` keeps all sessions and replicates each with
+    probability ``factor - floor(factor)`` (plus whole copies), jittering
+    replica arrival times slightly so they are not simultaneous.
+    """
+    if factor < 0:
+        raise ValueError("factor must be >= 0")
+    rng = make_rng(seed, "trace-scale")
+    sessions = []
+    whole = int(factor)
+    frac = factor - whole
+    for s in trace.sessions:
+        copies = whole + (1 if rng.random() < frac else 0)
+        for k in range(copies):
+            jitter = 0.0 if k == 0 else float(rng.uniform(0.0, 1.0))
+            sessions.append(
+                Session(
+                    arrival_time=s.arrival_time + jitter,
+                    channel=s.channel,
+                    start_chunk=s.start_chunk,
+                    upload_capacity=s.upload_capacity,
+                )
+            )
+    sessions.sort(key=lambda s: s.arrival_time)
+    return _rebuild(trace, sessions, f"|scale({factor})")
+
+
+def thin_trace(trace: Trace, keep_probability: float, *, seed: int = 0) -> Trace:
+    """Independent thinning: keep each session with the given probability."""
+    if not 0.0 <= keep_probability <= 1.0:
+        raise ValueError("keep probability must be in [0, 1]")
+    rng = make_rng(seed, "trace-thin")
+    sessions = [s for s in trace.sessions if rng.random() < keep_probability]
+    return _rebuild(trace, sessions, f"|thin({keep_probability})")
+
+
+def slice_trace(trace: Trace, start: float, end: float) -> Trace:
+    """Keep sessions arriving in [start, end); times re-zeroed to start."""
+    if end <= start:
+        raise ValueError("end must exceed start")
+    sessions = [
+        Session(
+            arrival_time=s.arrival_time - start,
+            channel=s.channel,
+            start_chunk=s.start_chunk,
+            upload_capacity=s.upload_capacity,
+        )
+        for s in trace.sessions
+        if start <= s.arrival_time < end
+    ]
+    return _rebuild(trace, sessions, f"|slice({start},{end})")
+
+
+def shift_trace(trace: Trace, offset: float) -> Trace:
+    """Shift all arrival times by ``offset`` (must stay nonnegative)."""
+    if trace.sessions and trace.sessions[0].arrival_time + offset < 0:
+        raise ValueError("shift would produce negative arrival times")
+    sessions = [
+        Session(
+            arrival_time=s.arrival_time + offset,
+            channel=s.channel,
+            start_chunk=s.start_chunk,
+            upload_capacity=s.upload_capacity,
+        )
+        for s in trace.sessions
+    ]
+    return _rebuild(trace, sessions, f"|shift({offset})")
+
+
+def merge_traces(traces: Sequence[Trace]) -> Trace:
+    """Merge sessions from several traces into one (sorted by arrival)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    sessions = [s for t in traces for s in t.sessions]
+    sessions.sort(key=lambda s: s.arrival_time)
+    summary = dict(traces[0].config_summary)
+    summary["num_sessions"] = len(sessions)
+    summary["derived"] = summary.get("derived", "") + f"|merge({len(traces)})"
+    return Trace(config_summary=summary, sessions=sessions)

@@ -1,0 +1,44 @@
+"""Zipf-like channel popularity (paper Section VI-A).
+
+The paper deploys 20 channels "with different popularities following a
+Zipf-like distribution". Channel c (1-indexed by popularity rank) receives a
+share proportional to ``1 / rank**exponent``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zipf_weights", "assign_channel_rates"]
+
+
+def zipf_weights(num_channels: int, exponent: float = 0.8) -> np.ndarray:
+    """Normalized Zipf popularity weights for ranks 1..num_channels.
+
+    Parameters
+    ----------
+    num_channels:
+        Number of channels (>= 1).
+    exponent:
+        Zipf skew; measurement studies of VoD popularity typically report
+        exponents in [0.6, 1.0]. Default 0.8.
+    """
+    if num_channels <= 0:
+        raise ValueError("need at least one channel")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, num_channels + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def assign_channel_rates(
+    total_rate: float, num_channels: int, exponent: float = 0.8
+) -> np.ndarray:
+    """Split a system-wide arrival rate across channels by Zipf popularity.
+
+    Returns per-channel arrival rates summing to ``total_rate``.
+    """
+    if total_rate < 0:
+        raise ValueError(f"total rate must be >= 0, got {total_rate}")
+    return total_rate * zipf_weights(num_channels, exponent)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.command == "analyze"
+        assert args.chunks == 20
+        assert args.mode == "client-server"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestAnalyze:
+    def test_client_server_output(self, capsys):
+        assert main(["analyze", "--chunks", "6", "--rate", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity analysis" in out
+        assert "total cloud demand" in out
+        assert "expected population" in out
+
+    def test_p2p_output(self, capsys):
+        assert main(
+            ["analyze", "--chunks", "6", "--rate", "0.05", "--mode", "p2p"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "peer offload" in out
+
+    def test_p2p_upload_ratio_changes_demand(self, capsys):
+        main(["analyze", "--chunks", "6", "--rate", "0.1", "--mode", "p2p",
+              "--peer-upload-ratio", "0.1"])
+        low = capsys.readouterr().out
+        main(["analyze", "--chunks", "6", "--rate", "0.1", "--mode", "p2p",
+              "--peer-upload-ratio", "2.0"])
+        high = capsys.readouterr().out
+
+        def total(text):
+            line = [l for l in text.splitlines() if "total cloud demand" in l][0]
+            return float(line.split(":")[1].split("Mbps")[0])
+
+        assert total(high) <= total(low)
+
+
+class TestTrace:
+    def test_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(
+            [
+                "trace", str(out_path),
+                "--channels", "3", "--chunks", "4",
+                "--hours", "2", "--rate", "0.5", "--seed", "5",
+            ]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["config"]["num_channels"] == 3
+        assert payload["config"]["seed"] == 5
+        assert len(payload["sessions"]) > 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_small_run_summary(self, capsys):
+        assert main(["run", "--mode", "p2p", "--hours", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop run summary" in out
+        assert "avg streaming quality" in out
+        assert "VM cost ($/h)" in out
+
+
+class TestInfo:
+    def test_prints_tables(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table III" in out
+        assert "$100.0/h" in out
+        assert "standard" in out and "advanced" in out and "high" in out

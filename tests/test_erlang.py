@@ -1,0 +1,205 @@
+"""Tests for repro.queueing.erlang: M/M/m stationary quantities."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.erlang import (
+    MMmQueueStats,
+    erlang_b,
+    erlang_c,
+    mmm_expected_number_in_system,
+    mmm_expected_queue_length,
+    mmm_expected_sojourn_time,
+    mmm_stationary_distribution,
+    mmm_stats,
+)
+
+
+def direct_erlang_b(m: int, a: float) -> float:
+    """Textbook Erlang-B via explicit factorial sums (small m only)."""
+    terms = [a**k / math.factorial(k) for k in range(m + 1)]
+    return terms[-1] / sum(terms)
+
+
+def direct_expected_in_system(m: int, a: float, kmax: int = 4000) -> float:
+    """E[n] by direct summation of the paper's Eqn (2)/(3) series."""
+    p0_terms = sum(a**k / math.factorial(k) for k in range(m))
+    w = a / m
+    p0 = 1.0 / (p0_terms + a**m / (math.factorial(m) * (1 - w)))
+    total = 0.0
+    for k in range(1, kmax):
+        if k <= m:
+            pk = p0 * a**k / math.factorial(k)
+        else:
+            pk = p0 * a**m / math.factorial(m) * w ** (k - m)
+        total += k * pk
+    return total
+
+
+class TestErlangB:
+    def test_zero_load(self):
+        assert erlang_b(5, 0.0) == pytest.approx(0.0)
+
+    def test_zero_servers_blocks_everything(self):
+        assert erlang_b(0, 2.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("m,a", [(1, 0.5), (2, 1.5), (5, 3.0), (10, 9.0)])
+    def test_matches_direct_formula(self, m, a):
+        assert erlang_b(m, a) == pytest.approx(direct_erlang_b(m, a), rel=1e-12)
+
+    def test_monotone_decreasing_in_servers(self):
+        values = [erlang_b(m, 4.0) for m in range(1, 15)]
+        assert all(x > y for x, y in zip(values, values[1:]))
+
+    def test_monotone_increasing_in_load(self):
+        values = [erlang_b(4, a) for a in (0.5, 1.0, 2.0, 3.5, 6.0)]
+        assert all(x < y for x, y in zip(values, values[1:]))
+
+    def test_large_load_no_overflow(self):
+        # Factorial formulas overflow here; the recursion must not.
+        value = erlang_b(500, 480.0)
+        assert 0.0 < value < 1.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_b(3, -1.0)
+
+    def test_negative_servers_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_b(-1, 1.0)
+
+
+class TestErlangC:
+    def test_single_server_equals_utilization(self):
+        # For M/M/1, P(wait) = rho.
+        assert erlang_c(1, 0.3) == pytest.approx(0.3)
+
+    def test_zero_load(self):
+        assert erlang_c(3, 0.0) == pytest.approx(0.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_c(2, 2.0)
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 0.0)
+
+    def test_c_at_least_b(self):
+        for m, a in [(2, 1.0), (5, 4.0), (20, 15.0)]:
+            assert erlang_c(m, a) >= erlang_b(m, a)
+
+    @given(
+        m=st.integers(min_value=1, max_value=60),
+        frac=st.floats(min_value=0.01, max_value=0.98),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probability_range(self, m, frac):
+        a = m * frac
+        c = erlang_c(m, a)
+        assert 0.0 <= c <= 1.0
+
+
+class TestStationaryDistribution:
+    def test_sums_to_one_with_long_tail(self):
+        probs = mmm_stationary_distribution(3, 2.0, max_k=300)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_paper_eqn2(self):
+        m, a = 4, 2.5
+        probs = mmm_stationary_distribution(m, a, max_k=10)
+        p0_terms = sum(a**k / math.factorial(k) for k in range(m))
+        p0 = 1.0 / (p0_terms + a**m / (math.factorial(m) * (1 - a / m)))
+        for k in range(11):
+            if k <= m:
+                expected = p0 * a**k / math.factorial(k)
+            else:
+                expected = p0 * a**m / math.factorial(m) * (a / m) ** (k - m)
+            assert probs[k] == pytest.approx(expected, rel=1e-10)
+
+    def test_nonnegative(self):
+        probs = mmm_stationary_distribution(2, 1.9, max_k=100)
+        assert np.all(probs >= 0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mmm_stationary_distribution(2, 2.5, max_k=5)
+
+
+class TestExpectedValues:
+    @pytest.mark.parametrize("m,a", [(1, 0.5), (2, 1.2), (5, 4.2), (8, 6.0)])
+    def test_expected_in_system_matches_series(self, m, a):
+        closed = mmm_expected_number_in_system(m, a)
+        series = direct_expected_in_system(m, a)
+        assert closed == pytest.approx(series, rel=1e-6)
+
+    def test_mm1_closed_form(self):
+        # M/M/1: L = rho / (1 - rho).
+        rho = 0.6
+        assert mmm_expected_number_in_system(1, rho) == pytest.approx(
+            rho / (1 - rho)
+        )
+
+    def test_queue_length_zero_at_zero_load(self):
+        assert mmm_expected_queue_length(5, 0.0) == 0.0
+
+    def test_in_system_at_least_offered_load(self):
+        for m, a in [(2, 1.5), (10, 8.0)]:
+            assert mmm_expected_number_in_system(m, a) >= a
+
+    def test_monotone_decreasing_in_servers(self):
+        a = 5.0
+        values = [mmm_expected_number_in_system(m, a) for m in range(6, 20)]
+        assert all(x >= y - 1e-12 for x, y in zip(values, values[1:]))
+
+    def test_sojourn_littles_law(self):
+        lam, mu, m = 2.0, 0.5, 6
+        l = mmm_expected_number_in_system(m, lam / mu)
+        assert mmm_expected_sojourn_time(m, lam, mu) == pytest.approx(l / lam)
+
+    def test_sojourn_zero_arrivals_is_service_time(self):
+        assert mmm_expected_sojourn_time(3, 0.0, 0.25) == pytest.approx(4.0)
+
+    @given(
+        m=st.integers(min_value=1, max_value=40),
+        frac=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sojourn_at_least_service_time(self, m, frac):
+        mu = 0.2
+        lam = m * frac * mu
+        assert mmm_expected_sojourn_time(m, lam, mu) >= 1.0 / mu - 1e-9
+
+
+class TestStats:
+    def test_consistency(self):
+        stats = mmm_stats(4, 1.5, 0.5)
+        assert isinstance(stats, MMmQueueStats)
+        assert stats.offered_load == pytest.approx(3.0)
+        assert stats.utilization == pytest.approx(0.75)
+        assert stats.expected_in_system == pytest.approx(
+            stats.expected_waiting + stats.offered_load
+        )
+        assert stats.expected_sojourn_time == pytest.approx(
+            stats.expected_wait_time + 2.0
+        )
+
+    def test_idle_queue(self):
+        stats = mmm_stats(4, 0.0, 0.5)
+        assert stats.expected_in_system == 0.0
+        assert stats.wait_probability == 0.0
+        assert stats.expected_sojourn_time == pytest.approx(2.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mmm_stats(2, 3.0, 1.0)
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            mmm_stats(2, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            mmm_stats(2, 1.0, 0.0)

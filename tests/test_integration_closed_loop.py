@@ -1,0 +1,206 @@
+"""End-to-end integration tests: the full closed loop at small scale.
+
+These are the reproduction's system tests: trace -> simulator -> tracker ->
+controller -> cloud -> simulator, asserting the paper's headline
+*qualitative* results on a CI-sized scenario.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import MovingAveragePredictor
+from repro.experiments.config import small_scenario
+from repro.experiments.figures import (
+    fig4_capacity_provisioning,
+    fig5_streaming_quality,
+    fig6_quality_vs_channel_size,
+    fig7_bandwidth_vs_channel_size,
+    fig8_storage_utility,
+    fig9_vm_utility,
+    fig10_vm_cost,
+)
+from repro.experiments.runner import run_closed_loop
+
+
+@pytest.fixture(scope="module")
+def cs_result():
+    return run_closed_loop(small_scenario("client-server", horizon_hours=6))
+
+
+@pytest.fixture(scope="module")
+def p2p_result():
+    return run_closed_loop(small_scenario("p2p", horizon_hours=6))
+
+
+class TestClosedLoopBasics:
+    def test_simulation_progressed(self, cs_result):
+        assert cs_result.simulation.arrivals > 100
+        assert cs_result.simulation.departures > 0
+        assert len(cs_result.interval_times) == 6
+
+    def test_quality_high_with_provisioning(self, cs_result):
+        """Paper Fig 5: C/S average quality ~0.97."""
+        assert cs_result.average_quality >= 0.9
+
+    def test_provisioned_covers_used(self, cs_result):
+        """Paper Fig 4: 'in the majority of time, provisioned bandwidth is
+        larger than the used'."""
+        provisioned = np.asarray(cs_result.provisioned_series)
+        used = np.asarray(cs_result.used_series)
+        covered = (provisioned >= used).mean()
+        assert covered >= 0.8
+
+    def test_budget_never_violated(self, cs_result):
+        ledger_entries = cs_result.decisions
+        budget = cs_result.scenario.sla_terms().vm_budget_per_hour
+        for decision in ledger_entries:
+            assert decision.hourly_vm_cost <= budget + 1e-9
+
+    def test_costs_accrued(self, cs_result):
+        assert cs_result.cost_report.vm_cost > 0.0
+        assert cs_result.cost_report.storage_cost > 0.0
+
+    def test_storage_cost_negligible_vs_vm(self, cs_result):
+        """Paper Section VI-C: storage ~ $0.018/day vs VM ~ $48/h."""
+        assert (
+            cs_result.cost_report.storage_cost
+            < 0.01 * cs_result.cost_report.vm_cost
+        )
+
+    def test_determinism(self):
+        a = run_closed_loop(small_scenario("p2p", horizon_hours=2))
+        b = run_closed_loop(small_scenario("p2p", horizon_hours=2))
+        assert a.used_series == b.used_series
+        assert a.mean_vm_cost_per_hour == b.mean_vm_cost_per_hour
+
+
+class TestPaperHeadlines:
+    def test_p2p_cheaper_than_client_server(self, cs_result, p2p_result):
+        """Paper Fig 10: P2P VM cost is a fraction of client-server."""
+        assert (
+            p2p_result.mean_vm_cost_per_hour
+            < cs_result.mean_vm_cost_per_hour
+        )
+
+    def test_p2p_uses_less_cloud_bandwidth(self, cs_result, p2p_result):
+        """Paper Fig 4: P2P's cloud usage is far below client-server's."""
+        assert np.mean(p2p_result.used_series) < np.mean(cs_result.used_series)
+
+    def test_p2p_quality_slightly_lower_but_good(self, cs_result, p2p_result):
+        """Paper Fig 5: P2P ~0.95 vs C/S ~0.97."""
+        assert p2p_result.average_quality >= 0.85
+        assert p2p_result.average_quality <= cs_result.average_quality + 0.05
+
+    def test_peers_contribute_bandwidth(self, p2p_result):
+        assert max(p2p_result.peer_series) > 0.0
+
+
+class TestFigureGenerators:
+    def test_fig4(self, cs_result, p2p_result):
+        data = fig4_capacity_provisioning(cs_result, p2p_result)
+        assert data["hours"].shape == data["cs_reserved_mbps"].shape
+        assert np.all(data["cs_reserved_mbps"] >= 0)
+
+    def test_fig5(self, cs_result, p2p_result):
+        data = fig5_streaming_quality(cs_result, p2p_result)
+        assert 0.0 <= float(data["cs_average"]) <= 1.0
+        assert data["p2p_quality"].size > 0
+
+    def test_fig6(self, cs_result):
+        data = fig6_quality_vs_channel_size(cs_result)
+        assert data["channel_size"].shape == data["quality"].shape
+        assert np.all((data["quality"] >= 0) & (data["quality"] <= 1))
+
+    def test_fig7_scaling_shapes(self, cs_result, p2p_result):
+        cs = fig7_bandwidth_vs_channel_size(cs_result)
+        p2p = fig7_bandwidth_vs_channel_size(p2p_result)
+        assert cs["channel_size"].size > 0
+        # C/S bandwidth grows (weakly) with channel size: the top-size
+        # tercile must draw at least as much as the bottom tercile. (At CI
+        # scale the integer-VM floor flattens the curve, so we assert the
+        # ordering rather than a slope; the paper-scale bench shows the
+        # linear trend.)
+        order = np.argsort(cs["channel_size"])
+        k = max(1, order.size // 3)
+        low = cs["bandwidth_mbps"][order[:k]].mean()
+        high = cs["bandwidth_mbps"][order[-k:]].mean()
+        assert high >= low - 1e-9
+        # For the same sizes, P2P provisions less on average.
+        assert p2p["bandwidth_mbps"].mean() <= cs["bandwidth_mbps"].mean()
+
+    def test_fig8_fig9(self, cs_result, p2p_result):
+        channel_ids = [0, 1]
+        storage = fig8_storage_utility(p2p_result, channel_ids)
+        vm = fig9_vm_utility(p2p_result, channel_ids)
+        assert storage["hours"].size == len(p2p_result.decisions)
+        for cid in channel_ids:
+            assert np.all(storage[f"channel_{cid}"] >= 0)
+            assert np.all(vm[f"channel_{cid}"] >= 0)
+        # In client-server mode (no peer offload muddying the picture) the
+        # most popular channel (0, Zipf) draws more VM utility.
+        cs_vm = fig9_vm_utility(cs_result, channel_ids)
+        assert cs_vm["channel_0"].mean() >= cs_vm["channel_1"].mean()
+
+    def test_fig10(self, cs_result, p2p_result):
+        data = fig10_vm_cost(cs_result, p2p_result)
+        assert data["p2p_average"] < data["cs_average"]
+        assert data["cs_storage_cost_per_day"] < 1.0
+
+
+class TestPredictorSwap:
+    def test_moving_average_predictor_runs(self):
+        result = run_closed_loop(
+            small_scenario("client-server", horizon_hours=3),
+            predictor=MovingAveragePredictor(window=2),
+        )
+        assert result.average_quality > 0.5
+
+    def test_seasonal_predictor_runs(self):
+        from repro.core.predictor import SeasonalPredictor
+
+        result = run_closed_loop(
+            small_scenario("client-server", horizon_hours=4),
+            predictor=SeasonalPredictor(period=24, blend=0.5),
+        )
+        assert result.average_quality > 0.5
+
+
+class TestControlPlaneBehaviour:
+    def test_storage_replanned_sparingly(self, cs_result):
+        """Storage placement should persist across stable-demand intervals
+        (the paper replans only 'if the demand ... changed significantly')."""
+        replans = sum(
+            1 for d in cs_result.decisions if d.storage_plan is not None
+        )
+        assert 1 <= replans < len(cs_result.decisions)
+
+    def test_vm_targets_follow_population(self, cs_result):
+        """Hour-over-hour, VM counts and populations move together."""
+        pops = np.asarray(cs_result.population_series[:-1], dtype=float)
+        costs = np.asarray(
+            [d.hourly_vm_cost for d in cs_result.decisions[1:]]
+        )
+        if pops.std() > 0 and costs.std() > 0:
+            corr = np.corrcoef(pops, costs)[0, 1]
+            assert corr > -0.2  # never strongly anti-correlated
+
+    def test_peer_upload_monotonically_cuts_cost(self):
+        """More peer upload -> cheaper P2P operation (Fig 11 cost side)."""
+        costs = []
+        for ratio in (0.5, 1.5):
+            result = run_closed_loop(
+                small_scenario(
+                    "p2p", horizon_hours=4, peer_upload_mean=ratio * 50_000.0
+                )
+            )
+            costs.append(result.mean_vm_cost_per_hour)
+        assert costs[1] <= costs[0] + 1e-9
+
+    def test_bootstrap_decision_covers_all_channels(self, cs_result):
+        bootstrap = cs_result.decisions[0]
+        assert bootstrap.time == 0.0
+        assert set(bootstrap.per_channel_capacity) == set(
+            range(cs_result.scenario.num_channels)
+        )
+        # The initial deployment actually rents VMs before any user shows.
+        assert bootstrap.hourly_vm_cost > 0.0

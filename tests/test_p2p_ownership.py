@@ -1,0 +1,166 @@
+"""Tests for repro.p2p.ownership (Proposition 1) and coownership models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p2p.coownership import empirical_coownership, independent_coownership
+from repro.p2p.ownership import solve_ownership
+from repro.queueing.transitions import sequential_matrix, uniform_jump_matrix
+
+
+class TestOwnership:
+    def test_fixed_point_property(self):
+        """The solution must satisfy Proposition 1's balance equations."""
+        p = uniform_jump_matrix(5, 0.6, 0.2)
+        n = np.array([4.0, 3.0, 2.0, 2.0, 1.0])
+        result = solve_ownership(p, n)
+        nu = result.per_queue
+        for i in range(5):
+            for j in range(5):
+                if j == i:
+                    assert nu[i, i] == pytest.approx(n[i])
+                    continue
+                expected = sum(nu[i, l] * p[l, j] for l in range(5))
+                assert nu[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_sequential_chain_ownership(self):
+        """With pure sequential viewing, owners of chunk i are exactly the
+        users now in chunks i+1.. weighted by survival probabilities."""
+        q = 0.8
+        p = sequential_matrix(4, continue_prob=q)
+        n = np.array([1.0, q, q**2, q**3])  # equilibrium with Lambda=1, T0=1
+        result = solve_ownership(p, n)
+        # A peer in queue j > i owns chunk i iff it passed through i; in a
+        # pure chain everyone passed through all earlier chunks.
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert result.per_queue[i, j] == pytest.approx(n[j], rel=1e-9)
+        # Nobody "later" owns a chunk ahead of them.
+        for i in range(1, 4):
+            for j in range(i):
+                assert result.per_queue[i, j] == pytest.approx(0.0, abs=1e-12)
+
+    def test_owners_exclude_current_downloaders(self):
+        p = sequential_matrix(3, 0.5)
+        n = np.array([2.0, 1.0, 0.5])
+        result = solve_ownership(p, n)
+        # owners_i = sum over other queues only.
+        expected = result.per_queue.sum(axis=1) - np.diag(result.per_queue)
+        assert result.owners == pytest.approx(expected)
+
+    def test_population(self):
+        p = sequential_matrix(3, 0.5)
+        n = np.array([2.0, 1.0, 0.5])
+        assert solve_ownership(p, n).population == pytest.approx(3.5)
+
+    def test_zero_population(self):
+        p = uniform_jump_matrix(4, 0.5, 0.2)
+        result = solve_ownership(p, np.zeros(4))
+        assert np.all(result.owners == 0.0)
+        assert result.population == 0.0
+
+    def test_rarest_order_sorted(self):
+        p = uniform_jump_matrix(5, 0.6, 0.2)
+        n = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        result = solve_ownership(p, n)
+        order = result.rarest_order()
+        owners_sorted = result.owners[order]
+        assert np.all(np.diff(owners_sorted) >= -1e-12)
+
+    def test_ownership_nonnegative(self):
+        p = uniform_jump_matrix(6, 0.5, 0.3)
+        n = np.linspace(1.0, 6.0, 6)
+        result = solve_ownership(p, n)
+        assert np.all(result.per_queue >= 0.0)
+        assert np.all(result.owners >= 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            solve_ownership(sequential_matrix(3, 0.5), np.zeros(4))
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ValueError):
+            solve_ownership(sequential_matrix(2, 0.5), np.array([1.0, -1.0]))
+
+    @given(
+        n_chunks=st.integers(min_value=2, max_value=8),
+        cont=st.floats(min_value=0.0, max_value=0.6),
+        jump=st.floats(min_value=0.0, max_value=0.3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_owner_count_bounded_by_total_downloads(self, n_chunks, cont, jump):
+        """Owners of chunk i cannot exceed the channel population (every
+        owner is a peer in some other queue)."""
+        if cont + jump >= 1.0:
+            return
+        p = uniform_jump_matrix(n_chunks, cont, jump)
+        rng = np.random.default_rng(n_chunks)
+        n = rng.uniform(0.0, 5.0, size=n_chunks)
+        result = solve_ownership(p, n)
+        population = n.sum()
+        assert np.all(result.owners <= population + 1e-6)
+
+
+class TestIndependentCoownership:
+    def test_product_form(self):
+        psi = independent_coownership(np.array([2.0, 4.0]), population=8.0)
+        assert psi(0, 1) == pytest.approx(0.25 * 0.5)
+
+    def test_diagonal_is_marginal(self):
+        psi = independent_coownership(np.array([2.0, 4.0]), population=8.0)
+        assert psi(1, 1) == pytest.approx(0.5)
+
+    def test_fraction_clipped_at_one(self):
+        psi = independent_coownership(np.array([12.0]), population=8.0)
+        assert psi(0, 0) == pytest.approx(1.0)
+
+    def test_zero_population(self):
+        psi = independent_coownership(np.array([1.0, 2.0]), population=0.0)
+        assert psi(0, 1) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            independent_coownership(np.array([-1.0]), population=2.0)
+
+
+class TestEmpiricalCoownership:
+    def test_exact_joint_frequencies(self):
+        buffers = np.array(
+            [
+                [1, 1, 0],
+                [1, 0, 0],
+                [0, 1, 1],
+                [1, 1, 1],
+            ],
+            dtype=bool,
+        )
+        psi = empirical_coownership(buffers)
+        assert psi(0, 1) == pytest.approx(2 / 4)  # peers 0 and 3
+        assert psi(0, 2) == pytest.approx(1 / 4)  # peer 3
+        assert psi(2, 2) == pytest.approx(2 / 4)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        buffers = rng.random((20, 5)) < 0.4
+        psi = empirical_coownership(buffers)
+        for a in range(5):
+            for b in range(5):
+                assert psi(a, b) == pytest.approx(psi(b, a))
+
+    def test_empty_peers(self):
+        psi = empirical_coownership(np.zeros((0, 4), dtype=bool))
+        assert psi(0, 3) == 0.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            empirical_coownership(np.zeros(5))
+
+    def test_joint_bounded_by_marginals(self):
+        rng = np.random.default_rng(2)
+        buffers = rng.random((50, 6)) < 0.5
+        psi = empirical_coownership(buffers)
+        for a in range(6):
+            for b in range(6):
+                assert psi(a, b) <= min(psi(a, a), psi(b, b)) + 1e-12

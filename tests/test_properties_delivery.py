@@ -1,0 +1,113 @@
+"""Property-based tests: conservation laws of the delivery models.
+
+Whatever the state, a delivery round must never create bandwidth: cloud
+usage is bounded by the provisioned capacity, peer usage by the peers'
+aggregate upload capacity, per-user rates by the cap, and the delivered
+total must equal what the cloud and peers supplied.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vod.delivery import ClientServerDelivery, P2PDelivery
+from repro.vod.user import UserStore
+
+R = 10e6 / 8.0
+NUM_CHUNKS = 5
+
+
+@st.composite
+def store_and_capacity(draw):
+    """A random user store plus per-chunk cloud capacities."""
+    num_users = draw(st.integers(min_value=0, max_value=30))
+    store = UserStore(NUM_CHUNKS)
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    for _ in range(num_users):
+        chunk = int(rng.integers(0, NUM_CHUNKS))
+        upload = float(rng.uniform(0, 2 * R))
+        uid = store.add_user(0.0, chunk, upload)
+        # Random buffered chunks.
+        owned = rng.random(NUM_CHUNKS) < 0.4
+        store.owned[uid] = owned
+        # Some users are watching (holding), not downloading.
+        if rng.random() < 0.25:
+            store.begin_hold(uid, 100.0, 0, chunk)
+        # Some departed.
+        if rng.random() < 0.1:
+            store.depart(uid)
+    capacity = np.asarray(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=5 * R),
+                min_size=NUM_CHUNKS,
+                max_size=NUM_CHUNKS,
+            )
+        )
+    )
+    return store, capacity
+
+
+class TestClientServerConservation:
+    @given(data=store_and_capacity())
+    @settings(max_examples=80, deadline=None)
+    def test_no_bandwidth_created(self, data):
+        store, capacity = data
+        outcome = ClientServerDelivery(R).allocate(store, capacity)
+        downloaders = store.downloaders_per_chunk().astype(float)
+        # Cloud usage bounded by capacity and by demand.
+        assert outcome.cloud_used <= capacity.sum() + 1e-6
+        assert outcome.cloud_used <= downloaders.sum() * R + 1e-6
+        # No peer magic in client-server mode.
+        assert outcome.peer_used == 0.0
+        # Per-user rates respect the cap and idle chunks get nothing.
+        assert np.all(outcome.per_user_rates <= R + 1e-9)
+        assert np.all(outcome.per_user_rates[downloaders == 0] == 0.0)
+        # Delivered == cloud used (single source).
+        delivered = float((outcome.per_user_rates * downloaders).sum())
+        assert delivered == pytest.approx(outcome.cloud_used, rel=1e-9, abs=1e-6)
+        # Shortfall accounting closes the balance.
+        assert outcome.cloud_shortfall == pytest.approx(
+            downloaders.sum() * R - delivered, rel=1e-9, abs=1e-6
+        )
+
+
+class TestP2PConservation:
+    @given(data=store_and_capacity())
+    @settings(max_examples=80, deadline=None)
+    def test_no_bandwidth_created(self, data):
+        store, capacity = data
+        outcome = P2PDelivery(R).allocate(store, capacity)
+        downloaders = store.downloaders_per_chunk().astype(float)
+        total_upload = store.total_upload_capacity()
+        assert outcome.peer_used <= total_upload + 1e-6
+        assert outcome.cloud_used <= capacity.sum() + 1e-6
+        assert np.all(outcome.per_user_rates <= R + 1e-9)
+        assert np.all(outcome.per_user_rates >= 0.0)
+        delivered = float((outcome.per_user_rates * downloaders).sum())
+        assert delivered == pytest.approx(
+            outcome.cloud_used + outcome.peer_used, rel=1e-6, abs=1e-3
+        )
+        assert delivered <= downloaders.sum() * R + 1e-6
+
+    @given(data=store_and_capacity())
+    @settings(max_examples=40, deadline=None)
+    def test_p2p_cloud_never_exceeds_client_server(self, data):
+        """Adding peer supply can only reduce cloud usage."""
+        store, capacity = data
+        p2p = P2PDelivery(R).allocate(store, capacity)
+        cs = ClientServerDelivery(R).allocate(store, capacity)
+        assert p2p.cloud_used <= cs.cloud_used + 1e-6
+
+    @given(data=store_and_capacity())
+    @settings(max_examples=40, deadline=None)
+    def test_p2p_serves_at_least_as_much(self, data):
+        """Peer supply can only increase the total delivered bandwidth."""
+        store, capacity = data
+        downloaders = store.downloaders_per_chunk().astype(float)
+        p2p = P2PDelivery(R).allocate(store, capacity)
+        cs = ClientServerDelivery(R).allocate(store, capacity)
+        p2p_delivered = float((p2p.per_user_rates * downloaders).sum())
+        cs_delivered = float((cs.per_user_rates * downloaders).sum())
+        assert p2p_delivered >= cs_delivered - 1e-6

@@ -1,0 +1,131 @@
+"""Unit tests for the event-driven Jackson simulator and the VM monitor.
+
+(The statistical validation against the closed forms lives in
+``test_queue_sim_validation.py``; these tests pin mechanical behaviour:
+determinism, warmup accounting, replay semantics, monitor series.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.cluster import VirtualClusterSpec
+from repro.cloud.vm import VMPool
+from repro.cloud.monitor import VMMonitor
+from repro.queueing.transitions import sequential_matrix, uniform_jump_matrix
+from repro.vod.queue_sim import JacksonChannelSimulator
+
+MU = 1.0 / 12.0
+
+
+def make_sim(**kwargs):
+    defaults = dict(
+        transition_matrix=uniform_jump_matrix(3, 0.5, 0.2),
+        external_rate=0.05,
+        service_rate=MU,
+        servers=np.full(3, 10),
+        alpha=0.8,
+        seed=1,
+    )
+    defaults.update(kwargs)
+    return JacksonChannelSimulator(**defaults)
+
+
+class TestQueueSimMechanics:
+    def test_deterministic_given_seed(self):
+        a = make_sim(seed=7).run(horizon=20_000.0)
+        b = make_sim(seed=7).run(horizon=20_000.0)
+        assert a.arrivals == b.arrivals
+        assert a.departures == b.departures
+        assert np.allclose(a.mean_in_system, b.mean_in_system)
+
+    def test_seeds_differ(self):
+        a = make_sim(seed=1).run(horizon=20_000.0)
+        b = make_sim(seed=2).run(horizon=20_000.0)
+        assert a.arrivals != b.arrivals
+
+    def test_warmup_discarded(self):
+        """Statistics with warmup must cover only the post-warmup window."""
+        result = make_sim(seed=3).run(horizon=50_000.0, warmup=10_000.0)
+        assert result.horizon == pytest.approx(40_000.0)
+        assert np.all(result.mean_in_system >= 0)
+
+    def test_warmup_must_precede_horizon(self):
+        with pytest.raises(ValueError):
+            make_sim().run(horizon=10.0, warmup=10.0)
+
+    def test_zero_rate_channel_stays_empty(self):
+        result = make_sim(external_rate=0.0).run(horizon=5_000.0)
+        assert result.arrivals == 0
+        assert np.all(result.mean_in_system == 0.0)
+
+    def test_visits_exceed_external_arrivals(self):
+        """Users download multiple chunks, so total completed visits must
+        exceed the number of sessions (in a stable run)."""
+        result = make_sim(seed=5).run(horizon=100_000.0)
+        assert result.completed_visits.sum() > result.arrivals
+
+    def test_replay_buffered_reduces_visits(self):
+        """With instant replay of buffered chunks, revisits skip service, so
+        fewer downloads complete for the same behaviour."""
+        # A matrix with frequent revisits (jump-heavy).
+        p = uniform_jump_matrix(3, 0.3, 0.5)
+        base = JacksonChannelSimulator(
+            p, 0.05, MU, np.full(3, 20), alpha=0.8, seed=11,
+            replay_buffered=False,
+        ).run(horizon=100_000.0)
+        replay = JacksonChannelSimulator(
+            p, 0.05, MU, np.full(3, 20), alpha=0.8, seed=11,
+            replay_buffered=True,
+        ).run(horizon=100_000.0)
+        assert replay.completed_visits.sum() < base.completed_visits.sum()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_sim(external_rate=-1.0)
+        with pytest.raises(ValueError):
+            make_sim(service_rate=0.0)
+        with pytest.raises(ValueError):
+            make_sim(servers=np.full(2, 5))  # wrong length
+        with pytest.raises(ValueError):
+            make_sim(servers=np.array([1, -1, 1]))
+
+    def test_sequential_chain_decaying_visits(self):
+        p = sequential_matrix(4, continue_prob=0.7)
+        result = JacksonChannelSimulator(
+            p, 0.05, MU, np.full(4, 20), alpha=1.0, seed=13
+        ).run(horizon=100_000.0)
+        visits = result.completed_visits
+        assert visits[0] > visits[1] > visits[2] > visits[3]
+
+
+class TestVMMonitor:
+    def make_pool(self):
+        spec = VirtualClusterSpec("standard", 0.6, 0.45, 10, 1.25e6)
+        return VMPool(spec)
+
+    def test_sample_series(self):
+        pool = self.make_pool()
+        monitor = VMMonitor({"standard": pool})
+        pool.launch(4)
+        monitor.sample(0.0, used_bandwidth=2e6)
+        pool.shutdown(2)
+        monitor.sample(3600.0, used_bandwidth=1e6)
+        assert monitor.provisioned_series() == [4 * 1.25e6, 2 * 1.25e6]
+        assert monitor.used_series() == [2e6, 1e6]
+
+    def test_utilization_bounds(self):
+        pool = self.make_pool()
+        monitor = VMMonitor({"standard": pool})
+        snap = monitor.sample(0.0, used_bandwidth=5e6)
+        assert snap.utilization == 0.0  # nothing running
+        pool.launch(1)
+        snap = monitor.sample(1.0, used_bandwidth=5e6)
+        assert snap.utilization == 1.0  # clamped
+
+    def test_launch_shutdown_counters_exposed(self):
+        pool = self.make_pool()
+        monitor = VMMonitor({"standard": pool})
+        pool.launch(3)
+        pool.shutdown(1)
+        assert monitor.launch_counts() == {"standard": 3}
+        assert monitor.shutdown_counts() == {"standard": 1}

@@ -1,0 +1,65 @@
+"""Tests for the seasonal predictor extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import LastIntervalPredictor, SeasonalPredictor
+
+
+class TestSeasonalPredictor:
+    def test_falls_back_to_last_until_full_period(self):
+        p = SeasonalPredictor(period=4, blend=0.5)
+        p.observe(0, 1.0)
+        p.observe(0, 2.0)
+        assert p.predict(0) == 2.0
+
+    def test_blends_after_full_period(self):
+        p = SeasonalPredictor(period=3, blend=0.5)
+        for rate in (10.0, 1.0, 1.0):
+            p.observe(0, rate)
+        # Seasonal slot (3 intervals ago) = 10, last = 1.
+        assert p.predict(0) == pytest.approx(0.5 * 10.0 + 0.5 * 1.0)
+
+    def test_blend_one_is_pure_seasonal(self):
+        p = SeasonalPredictor(period=2, blend=1.0)
+        p.observe(0, 7.0)
+        p.observe(0, 3.0)
+        assert p.predict(0) == 7.0
+
+    def test_blend_zero_is_last_interval(self):
+        p = SeasonalPredictor(period=2, blend=0.0)
+        p.observe(0, 7.0)
+        p.observe(0, 3.0)
+        assert p.predict(0) == 3.0
+
+    def test_initial_rate(self):
+        p = SeasonalPredictor(initial_rate=0.25)
+        assert p.predict(0) == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalPredictor(period=0)
+        with pytest.raises(ValueError):
+            SeasonalPredictor(blend=1.5)
+        p = SeasonalPredictor()
+        with pytest.raises(ValueError):
+            p.observe(0, -1.0)
+
+    def test_anticipates_diurnal_flash_crowd(self):
+        """On a repeating daily pattern, the seasonal predictor should
+        anticipate the flash crowd an hour before the last-interval rule
+        sees it."""
+        pattern = np.concatenate(
+            [np.full(8, 1.0), np.full(4, 5.0), np.full(12, 1.0)]
+        )  # a 24-"hour" day with a crowd at hours 8-11
+        seasonal = SeasonalPredictor(period=24, blend=1.0)
+        last = LastIntervalPredictor()
+        # Feed two full days.
+        for day in range(2):
+            for hour, rate in enumerate(pattern):
+                # Before observing hour 8 of day 2, compare predictions.
+                if day == 1 and hour == 8:
+                    assert last.predict(0) == pytest.approx(1.0)  # blind
+                    assert seasonal.predict(0) == pytest.approx(5.0)  # sees it
+                seasonal.observe(0, float(rate))
+                last.observe(0, float(rate))

@@ -1,0 +1,176 @@
+"""Tests for repro.sim: engine, events, rng."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import EventQueue
+from repro.sim.rng import RandomStreams, make_rng
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, lambda: fired.append("c"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(2.0, lambda: fired.append("b"))
+        while (e := q.pop()) is not None:
+            e.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_priority_then_insertion(self):
+        q = EventQueue()
+        fired = []
+        q.push(1.0, lambda: fired.append("low"), priority=1)
+        q.push(1.0, lambda: fired.append("hi"), priority=0)
+        q.push(1.0, lambda: fired.append("low2"), priority=1)
+        while (e := q.pop()) is not None:
+            e.action()
+        assert fired == ["hi", "low", "low2"]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        fired = []
+        event = q.push(1.0, lambda: fired.append("x"))
+        q.cancel(event)
+        assert q.pop() is None
+        assert fired == []
+        assert len(q) == 0
+
+    def test_len_tracks_live_events(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        q.cancel(e1)
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(e1)
+        assert q.peek_time() == 2.0
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), lambda: None)
+
+    def test_snapshot(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None, label="b")
+        q.push(1.0, lambda: None, label="a")
+        assert q.snapshot() == ((1.0, "a"), (2.0, "b"))
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.0, 5.0]
+        assert sim.now == 5.0
+        assert sim.events_processed == 2
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_excludes_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.schedule(15.0, lambda: fired.append(15))
+        sim.run(until=10.0)
+        assert fired == [5]
+        assert sim.now == 10.0
+        sim.run(until=20.0)
+        assert fired == [5, 15]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(sim.now)
+            if n > 0:
+                sim.schedule_in(1.0, lambda: chain(n - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_stop_halts(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for t in range(5):
+            sim.schedule(float(t), lambda t=t: fired.append(t))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_cancel_via_simulator(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+
+class TestRng:
+    def test_deterministic(self):
+        a = make_rng(42, "x").random(5)
+        b = make_rng(42, "x").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_differ(self):
+        a = make_rng(42, "x").random(5)
+        b = make_rng(42, "y").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1, "x").random(5)
+        b = make_rng(2, "x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_streams_cached(self):
+        streams = RandomStreams(7)
+        assert streams.get("a") is streams.get("a")
+        assert streams.get("a") is not streams.get("b")
+
+    def test_spawn_independent(self):
+        parent = RandomStreams(7)
+        child1 = parent.spawn("w1")
+        child2 = parent.spawn("w2")
+        a = child1.get("x").random(4)
+        b = child2.get("x").random(4)
+        assert not np.allclose(a, b)
+
+    def test_labels(self):
+        streams = RandomStreams(0)
+        streams.get("alpha")
+        streams.get("beta")
+        assert set(streams.labels()) == {"alpha", "beta"}

@@ -1,0 +1,210 @@
+"""Tests for repro.core.storage_rental: Eqn (6) solvers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.cluster import NFSClusterSpec
+from repro.core.storage_rental import (
+    StorageProblem,
+    exhaustive_storage_rental,
+    greedy_storage_rental,
+    lp_storage_bound,
+)
+
+CHUNK = 15e6  # 15 MB
+
+
+def cluster(name, utility, price, slots):
+    """An NFS cluster that holds exactly ``slots`` chunks."""
+    return NFSClusterSpec(
+        name=name,
+        utility=utility,
+        price_per_gb_hour=price,
+        capacity_bytes=slots * CHUNK,
+    )
+
+
+def problem(demands, clusters, budget):
+    return StorageProblem(
+        demands=demands,
+        chunk_size_bytes=CHUNK,
+        clusters=clusters,
+        budget_per_hour=budget,
+    )
+
+
+class TestGreedy:
+    def test_prefers_best_utility_per_dollar(self):
+        # "high" has better u/p here.
+        clusters = [
+            cluster("low", utility=0.8, price=2e-4, slots=10),
+            cluster("high", utility=1.0, price=1e-4, slots=10),
+        ]
+        plan = greedy_storage_rental(
+            problem({("c", 0): 5.0, ("c", 1): 3.0}, clusters, budget=1.0)
+        )
+        assert plan.feasible
+        assert plan.placement[("c", 0)] == "high"
+        assert plan.placement[("c", 1)] == "high"
+
+    def test_hottest_chunks_get_best_cluster_when_full(self):
+        clusters = [
+            cluster("best", utility=1.0, price=1e-4, slots=1),
+            cluster("other", utility=0.5, price=1e-4, slots=10),
+        ]
+        demands = {("c", 0): 1.0, ("c", 1): 100.0}
+        plan = greedy_storage_rental(problem(demands, clusters, budget=1.0))
+        assert plan.placement[("c", 1)] == "best"  # hottest chunk
+        assert plan.placement[("c", 0)] == "other"
+
+    def test_budget_infeasible_reported(self):
+        clusters = [cluster("only", 1.0, 1e-1, slots=10)]
+        demands = {("c", i): 1.0 for i in range(5)}
+        cost_per_chunk = clusters[0].price_per_byte_hour * CHUNK
+        plan = greedy_storage_rental(
+            problem(demands, clusters, budget=2.5 * cost_per_chunk)
+        )
+        assert not plan.feasible
+        assert len(plan.unplaced) == 3
+        assert plan.cost_per_hour <= 2.5 * cost_per_chunk + 1e-12
+
+    def test_capacity_infeasible_reported(self):
+        clusters = [cluster("tiny", 1.0, 1e-4, slots=2)]
+        demands = {("c", i): float(i) for i in range(4)}
+        plan = greedy_storage_rental(problem(demands, clusters, budget=100.0))
+        assert not plan.feasible
+        assert len(plan.placement) == 2
+        # The two hottest chunks were placed.
+        assert ("c", 3) in plan.placement and ("c", 2) in plan.placement
+
+    def test_zero_demand_chunks_still_placed(self):
+        # One copy of every chunk is required even if nobody watches it.
+        clusters = [cluster("a", 1.0, 1e-4, slots=10)]
+        plan = greedy_storage_rental(
+            problem({("c", 0): 0.0, ("c", 1): 0.0}, clusters, budget=1.0)
+        )
+        assert plan.feasible
+        assert len(plan.placement) == 2
+
+    def test_objective_accounting(self):
+        clusters = [
+            cluster("a", 1.0, 1e-4, slots=1),
+            cluster("b", 0.5, 1e-4, slots=1),
+        ]
+        plan = greedy_storage_rental(
+            problem({("c", 0): 10.0, ("c", 1): 2.0}, clusters, budget=1.0)
+        )
+        assert plan.objective == pytest.approx(1.0 * 10.0 + 0.5 * 2.0)
+
+    def test_cheaper_cluster_used_when_budget_tight(self):
+        # Best u/p cluster is expensive in absolute terms; with a tight
+        # budget the heuristic falls back to the affordable one.
+        clusters = [
+            cluster("pricey", utility=1.0, price=1e-2, slots=10),
+            cluster("cheap", utility=0.9, price=1e-4, slots=10),
+        ]
+        cheap_cost = clusters[1].price_per_byte_hour * CHUNK
+        plan = greedy_storage_rental(
+            problem({("c", 0): 1.0}, clusters, budget=2 * cheap_cost)
+        )
+        assert plan.feasible
+        assert plan.placement[("c", 0)] == "cheap"
+
+    def test_facility_placement_conversion(self):
+        clusters = [cluster("a", 1.0, 1e-4, slots=4)]
+        plan = greedy_storage_rental(
+            problem({("c", 0): 1.0}, clusters, budget=1.0)
+        )
+        placement = plan.to_facility_placement(CHUNK)
+        assert placement[("c", 0)] == ("a", CHUNK)
+
+
+class TestAgainstOracles:
+    def test_matches_exhaustive_on_easy_instance(self):
+        # No binding constraints: greedy should be exactly optimal.
+        clusters = [
+            cluster("a", 1.0, 1e-4, slots=5),
+            cluster("b", 0.6, 2e-4, slots=5),
+        ]
+        demands = {("c", i): float(i + 1) for i in range(3)}
+        greedy = greedy_storage_rental(problem(demands, clusters, 1.0))
+        exact = exhaustive_storage_rental(problem(demands, clusters, 1.0))
+        assert greedy.objective == pytest.approx(exact.objective)
+
+    def test_never_beats_exhaustive(self):
+        rng = np.random.default_rng(5)
+        for trial in range(10):
+            clusters = [
+                cluster("a", 1.0, float(rng.uniform(1e-4, 5e-4)), slots=2),
+                cluster("b", float(rng.uniform(0.3, 0.9)),
+                        float(rng.uniform(1e-4, 5e-4)), slots=3),
+            ]
+            demands = {("c", i): float(rng.uniform(0, 10)) for i in range(4)}
+            budget = float(rng.uniform(0.5, 2.0)) * clusters[0].price_per_byte_hour * CHUNK * 4
+            g = greedy_storage_rental(problem(demands, clusters, budget))
+            e = exhaustive_storage_rental(problem(demands, clusters, budget))
+            if g.feasible and e.feasible:
+                assert g.objective <= e.objective + 1e-9
+
+    def test_lp_bound_dominates_greedy(self):
+        clusters = [
+            cluster("a", 1.0, 1e-4, slots=3),
+            cluster("b", 0.7, 3e-4, slots=5),
+        ]
+        demands = {("c", i): float(i + 1) for i in range(6)}
+        prob = problem(demands, clusters, budget=1.0)
+        greedy = greedy_storage_rental(prob)
+        bound = lp_storage_bound(prob)
+        assert greedy.feasible
+        assert greedy.objective <= bound + 1e-6
+
+    def test_exhaustive_rejects_huge_instances(self):
+        clusters = [cluster(f"c{i}", 1.0, 1e-4, slots=100) for i in range(4)]
+        demands = {("c", i): 1.0 for i in range(30)}
+        with pytest.raises(ValueError, match="too large"):
+            exhaustive_storage_rental(problem(demands, clusters, 100.0))
+
+    @given(
+        num_chunks=st.integers(min_value=1, max_value=6),
+        budget_scale=st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_respects_constraints(self, num_chunks, budget_scale):
+        clusters = [
+            cluster("a", 1.0, 2e-4, slots=3),
+            cluster("b", 0.8, 1e-4, slots=3),
+        ]
+        demands = {("c", i): float(i) for i in range(num_chunks)}
+        base_cost = clusters[1].price_per_byte_hour * CHUNK * num_chunks
+        plan = greedy_storage_rental(
+            problem(demands, clusters, budget=budget_scale * base_cost)
+        )
+        # Capacity respected.
+        loads = plan.cluster_loads()
+        assert loads.get("a", 0) <= 3 and loads.get("b", 0) <= 3
+        # Budget respected.
+        assert plan.cost_per_hour <= budget_scale * base_cost + 1e-9
+        # Feasible iff everything placed.
+        assert plan.feasible == (len(plan.placement) == num_chunks)
+
+
+class TestValidation:
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            problem({("c", 0): -1.0}, [cluster("a", 1.0, 1e-4, 2)], 1.0)
+
+    def test_duplicate_cluster_names_rejected(self):
+        with pytest.raises(ValueError):
+            problem(
+                {("c", 0): 1.0},
+                [cluster("a", 1.0, 1e-4, 2), cluster("a", 0.5, 1e-4, 2)],
+                1.0,
+            )
+
+    def test_empty_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            problem({("c", 0): 1.0}, [], 1.0)

@@ -1,0 +1,137 @@
+"""Tests for repro.vod.tracker and repro.vod.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.vod.metrics import QualityTracker
+from repro.vod.tracker import TrackingServer
+
+
+@pytest.fixture
+def tracker():
+    return TrackingServer(
+        num_channels=2, chunks_per_channel=[3, 4], interval_seconds=3600.0
+    )
+
+
+class TestTracker:
+    def test_arrival_rate(self, tracker):
+        for _ in range(36):
+            tracker.record_arrival(0, 0, 100.0)
+        stats = tracker.close_interval()
+        assert stats[0].arrivals == 36
+        assert stats[0].arrival_rate == pytest.approx(0.01)
+        assert stats[1].arrivals == 0
+
+    def test_transition_counts(self, tracker):
+        tracker.record_transition(0, 0, 1)
+        tracker.record_transition(0, 0, 1)
+        tracker.record_transition(0, 1, 2)
+        tracker.record_departure(0, 2)
+        stats = tracker.close_interval()[0]
+        assert stats.transition_counts[0, 1] == 2
+        assert stats.transition_counts[1, 2] == 1
+        assert stats.departure_counts[2] == 1
+
+    def test_interval_reset(self, tracker):
+        tracker.record_arrival(0, 0, 1.0)
+        tracker.close_interval()
+        stats = tracker.close_interval()[0]
+        assert stats.arrivals == 0
+
+    def test_history_kept(self, tracker):
+        tracker.record_arrival(1, 2, 5.0)
+        tracker.close_interval()
+        tracker.close_interval()
+        assert len(tracker.history[1]) == 2
+        assert tracker.last_closed(1).arrivals == 0
+
+    def test_mean_upload_capacity(self, tracker):
+        tracker.record_arrival(0, 0, 100.0)
+        tracker.record_arrival(0, 1, 300.0)
+        stats = tracker.close_interval()[0]
+        assert stats.mean_upload_capacity == pytest.approx(200.0)
+
+    def test_observed_alpha(self, tracker):
+        for _ in range(8):
+            tracker.record_arrival(0, 0, 1.0)
+        for _ in range(2):
+            tracker.record_arrival(0, 2, 1.0)
+        stats = tracker.close_interval()[0]
+        assert stats.observed_alpha == pytest.approx(0.8)
+
+    def test_empty_stats_has_zero_observations(self, tracker):
+        stats = tracker.empty_stats(1)
+        assert stats.arrivals == 0
+        assert stats.transition_counts.shape == (4, 4)
+        assert stats.observed_alpha == 1.0
+
+    def test_cloud_tickets_unique(self, tracker):
+        a = tracker.issue_cloud_ticket()
+        b = tracker.issue_cloud_ticket()
+        assert a.ticket != b.ticket
+        assert tracker.tickets_issued == 2
+        assert a.entry_ip == "10.0.0.1"
+        assert a.ports
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrackingServer(0, [], 3600.0)
+        with pytest.raises(ValueError):
+            TrackingServer(2, [3], 3600.0)
+        with pytest.raises(ValueError):
+            TrackingServer(1, [3], 0.0)
+
+
+class TestQualityTracker:
+    def test_sample_quality(self):
+        q = QualityTracker()
+        sample = q.record_sample(300.0, {0: 8, 1: 9}, {0: 10, 1: 10})
+        assert sample.quality == pytest.approx(17 / 20)
+        assert sample.per_channel[0] == pytest.approx(0.8)
+        assert sample.total_users == 20
+
+    def test_empty_channel_counts_as_smooth(self):
+        q = QualityTracker()
+        sample = q.record_sample(300.0, {0: 0}, {0: 0})
+        assert sample.quality == 1.0
+        assert sample.per_channel[0] == 1.0
+
+    def test_average_quality(self):
+        q = QualityTracker()
+        q.record_sample(300.0, {0: 10}, {0: 10})
+        q.record_sample(600.0, {0: 5}, {0: 10})
+        assert q.average_quality == pytest.approx(0.75)
+
+    def test_retrieval_aggregates(self):
+        q = QualityTracker()
+        q.record_retrieval(10.0, 0, 1, sojourn=100.0, smooth=True)
+        q.record_retrieval(20.0, 0, 2, sojourn=400.0, smooth=False)
+        assert q.total_retrievals == 2
+        assert q.smooth_retrieval_fraction == pytest.approx(0.5)
+        assert q.mean_sojourn == pytest.approx(250.0)
+        assert q.channel_retrieval_summary(0) == (2, 1)
+
+    def test_quality_series(self):
+        q = QualityTracker()
+        q.record_sample(300.0, {0: 1}, {0: 1})
+        q.record_sample(600.0, {0: 1}, {0: 2})
+        times, quality = q.quality_series()
+        assert list(times) == [300.0, 600.0]
+        assert quality == pytest.approx([1.0, 0.5])
+
+    def test_channel_size_quality_points(self):
+        q = QualityTracker()
+        q.record_sample(300.0, {0: 4, 1: 0}, {0: 5, 1: 0})
+        points = q.channel_size_quality_points(min_users=1)
+        assert points == [(5, 0.8)]
+
+    def test_no_samples_defaults(self):
+        q = QualityTracker()
+        assert q.average_quality == 1.0
+        assert q.smooth_retrieval_fraction == 1.0
+        assert q.mean_sojourn == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            QualityTracker(window_seconds=0.0)

@@ -1,0 +1,136 @@
+"""Tests for repro.vod.user: the struct-of-arrays user store."""
+
+import numpy as np
+import pytest
+
+from repro.vod.user import HOLDING, UserStore
+
+
+@pytest.fixture
+def store():
+    return UserStore(num_chunks=4, capacity=2)  # tiny capacity forces growth
+
+
+class TestLifecycle:
+    def test_add_user(self, store):
+        uid = store.add_user(now=10.0, start_chunk=1, upload_capacity=100.0)
+        assert store.active[uid]
+        assert store.chunk[uid] == 1
+        assert store.enter_time[uid] == 10.0
+        assert store.num_active == 1
+
+    def test_growth_preserves_state(self, store):
+        ids = [store.add_user(float(i), 0, 10.0) for i in range(10)]
+        assert store.num_active == 10
+        assert all(store.active[i] for i in ids)
+        assert store.arrival_time[ids[7]] == 7.0
+
+    def test_depart(self, store):
+        uid = store.add_user(0.0, 0, 10.0)
+        store.depart(uid)
+        assert not store.active[uid]
+        assert store.num_active == 0
+
+    def test_complete_chunk_records_ownership(self, store):
+        uid = store.add_user(0.0, 2, 10.0)
+        finished = store.complete_chunk(uid, now=5.0, smooth=True)
+        assert finished == 2
+        assert store.owned[uid, 2]
+        assert store.retrievals[uid] == 1
+        assert store.unsmooth_retrievals[uid] == 0
+
+    def test_unsmooth_retrieval_tracked(self, store):
+        uid = store.add_user(0.0, 0, 10.0)
+        store.complete_chunk(uid, now=500.0, smooth=False)
+        assert store.unsmooth_retrievals[uid] == 1
+        assert store.last_unsmooth[uid] == 500.0
+
+    def test_invalid_inputs(self, store):
+        with pytest.raises(ValueError):
+            store.add_user(0.0, 9, 10.0)
+        with pytest.raises(ValueError):
+            store.add_user(0.0, 0, -1.0)
+
+
+class TestHolding:
+    def test_begin_and_release_hold(self, store):
+        uid = store.add_user(0.0, 0, 10.0)
+        store.complete_chunk(uid, 50.0, smooth=True)
+        store.begin_hold(uid, until=300.0, next_chunk=1, from_chunk=0)
+        assert store.chunk[uid] == HOLDING
+        assert store.due_holds(299.0).size == 0
+        due = store.due_holds(300.0)
+        assert list(due) == [uid]
+        assert store.hold_next[uid] == 1
+        assert store.hold_from[uid] == 0
+
+    def test_holding_users_not_downloaders(self, store):
+        a = store.add_user(0.0, 0, 10.0)
+        b = store.add_user(0.0, 0, 10.0)
+        store.begin_hold(a, 100.0, 1, 0)
+        assert store.downloaders_per_chunk()[0] == 1
+        assert list(store.downloading_indices()) == [b]
+        # Holding users still count as active.
+        assert store.num_active == 2
+
+    def test_holding_users_keep_ownership_visible(self, store):
+        uid = store.add_user(0.0, 0, 10.0)
+        store.complete_chunk(uid, 10.0, smooth=True)
+        store.begin_hold(uid, 100.0, 1, 0)
+        assert store.owners_per_chunk()[0] == 1
+
+
+class TestVectorizedQueries:
+    def test_downloaders_per_chunk(self, store):
+        store.add_user(0.0, 0, 1.0)
+        store.add_user(0.0, 0, 1.0)
+        store.add_user(0.0, 3, 1.0)
+        counts = store.downloaders_per_chunk()
+        assert list(counts) == [2, 0, 0, 1]
+
+    def test_advance_and_complete(self, store):
+        a = store.add_user(0.0, 0, 1.0)
+        b = store.add_user(0.0, 1, 1.0)
+        rates = np.array([10.0, 1.0, 0.0, 0.0])
+        store.advance_downloads(rates, dt=5.0)
+        assert store.received[a] == pytest.approx(50.0)
+        assert store.received[b] == pytest.approx(5.0)
+        done = store.completed(chunk_size=50.0)
+        assert list(done) == [a]
+
+    def test_ownership_matrix_active_only(self, store):
+        a = store.add_user(0.0, 0, 1.0)
+        b = store.add_user(0.0, 1, 1.0)
+        store.complete_chunk(a, 1.0, True)
+        store.complete_chunk(b, 1.0, True)
+        store.depart(b)
+        matrix = store.ownership_matrix()
+        assert matrix.shape == (1, 4)
+        assert matrix[0, 0]
+
+    def test_smooth_users_window(self, store):
+        a = store.add_user(0.0, 0, 1.0)
+        b = store.add_user(0.0, 1, 1.0)
+        store.complete_chunk(a, 100.0, smooth=False)
+        store.start_chunk_download(a, 1, 100.0)
+        # At t=150 with window 300, user a is unsmooth.
+        smooth, total = store.smooth_users(now=150.0, window=300.0)
+        assert (smooth, total) == (1, 2)
+        # Much later the stall has aged out of the window.
+        smooth, total = store.smooth_users(now=500.0, window=300.0)
+        assert (smooth, total) == (2, 2)
+
+    def test_total_upload_capacity(self, store):
+        store.add_user(0.0, 0, 10.0)
+        uid = store.add_user(0.0, 0, 30.0)
+        assert store.total_upload_capacity() == 40.0
+        store.depart(uid)
+        assert store.total_upload_capacity() == 10.0
+
+    def test_empty_store_queries(self):
+        store = UserStore(3)
+        assert store.downloaders_per_chunk().sum() == 0
+        assert store.owners_per_chunk().sum() == 0
+        assert store.smooth_users(0.0, 300.0) == (0, 0)
+        assert store.completed(1.0).size == 0
+        assert store.due_holds(0.0).size == 0

@@ -1,0 +1,122 @@
+"""Tests for repro.workload.tools: trace manipulation."""
+
+import numpy as np
+import pytest
+
+from repro.workload.tools import (
+    merge_traces,
+    scale_trace,
+    shift_trace,
+    slice_trace,
+    thin_trace,
+)
+from repro.workload.trace import Session, Trace, TraceConfig, generate_trace
+
+
+@pytest.fixture
+def trace():
+    return generate_trace(
+        TraceConfig(
+            num_channels=3,
+            chunks_per_channel=4,
+            horizon_seconds=4 * 3600.0,
+            mean_total_arrival_rate=0.3,
+            seed=3,
+        )
+    )
+
+
+class TestScale:
+    def test_thinning_halves(self, trace):
+        scaled = scale_trace(trace, 0.5, seed=1)
+        assert len(scaled) == pytest.approx(0.5 * len(trace), rel=0.15)
+
+    def test_doubling(self, trace):
+        scaled = scale_trace(trace, 2.0)
+        assert len(scaled) == 2 * len(trace)
+        times = scaled.arrival_times()
+        assert np.all(np.diff(times) >= 0)
+
+    def test_fractional_amplification(self, trace):
+        scaled = scale_trace(trace, 1.5, seed=2)
+        assert len(scaled) == pytest.approx(1.5 * len(trace), rel=0.15)
+
+    def test_zero_empties(self, trace):
+        assert len(scale_trace(trace, 0.0)) == 0
+
+    def test_identity(self, trace):
+        assert len(scale_trace(trace, 1.0)) == len(trace)
+
+    def test_negative_rejected(self, trace):
+        with pytest.raises(ValueError):
+            scale_trace(trace, -1.0)
+
+
+class TestThin:
+    def test_probability_bounds(self, trace):
+        with pytest.raises(ValueError):
+            thin_trace(trace, 1.5)
+
+    def test_keep_all_and_none(self, trace):
+        assert len(thin_trace(trace, 1.0)) == len(trace)
+        assert len(thin_trace(trace, 0.0)) == 0
+
+    def test_deterministic(self, trace):
+        a = thin_trace(trace, 0.3, seed=9)
+        b = thin_trace(trace, 0.3, seed=9)
+        assert [s.arrival_time for s in a.sessions] == [
+            s.arrival_time for s in b.sessions
+        ]
+
+
+class TestSliceShiftMerge:
+    def test_slice_window_and_rezero(self, trace):
+        window = slice_trace(trace, 3600.0, 7200.0)
+        assert all(0.0 <= s.arrival_time < 3600.0 for s in window.sessions)
+        original = [
+            s for s in trace.sessions if 3600.0 <= s.arrival_time < 7200.0
+        ]
+        assert len(window) == len(original)
+
+    def test_slice_validation(self, trace):
+        with pytest.raises(ValueError):
+            slice_trace(trace, 100.0, 100.0)
+
+    def test_shift(self, trace):
+        shifted = shift_trace(trace, 500.0)
+        assert shifted.sessions[0].arrival_time == pytest.approx(
+            trace.sessions[0].arrival_time + 500.0
+        )
+
+    def test_shift_negative_guard(self):
+        t = Trace(config_summary={}, sessions=[Session(10.0, 0, 0, 1.0)])
+        with pytest.raises(ValueError):
+            shift_trace(t, -20.0)
+
+    def test_merge_sorted(self, trace):
+        other = shift_trace(trace, 111.0)
+        merged = merge_traces([trace, other])
+        assert len(merged) == 2 * len(trace)
+        assert np.all(np.diff(merged.arrival_times()) >= 0)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+    def test_derivation_notes(self, trace):
+        derived = slice_trace(scale_trace(trace, 0.5), 0.0, 3600.0)
+        assert "scale(0.5)" in derived.config_summary["derived"]
+        assert "slice" in derived.config_summary["derived"]
+
+
+class TestComposition:
+    def test_flash_crowd_construction(self, trace):
+        """Build a synthetic flash crowd: baseline + a burst slice merged
+        on top of hour 2 — a realistic stress-construction workflow."""
+        burst = shift_trace(scale_trace(slice_trace(trace, 0, 1800.0), 3.0), 7200.0)
+        combined = merge_traces([trace, burst])
+        # The burst hour has a higher arrival count than the baseline hour.
+        times = combined.arrival_times()
+        burst_count = int(((times >= 7200.0) & (times < 9000.0)).sum())
+        base_count = int(((times >= 3600.0) & (times < 5400.0)).sum())
+        assert burst_count > base_count
