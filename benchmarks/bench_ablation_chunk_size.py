@@ -22,38 +22,29 @@ a fixed 100-minute video and identical viewer behaviour (VCR jumps every
 Timed kernel: the capacity analysis at the paper's T0.
 """
 
-import numpy as np
-
 from repro.core.packing import pack_allocations
 from repro.core.vm_allocation import VMProblem, greedy_vm_allocation
 from repro.experiments.config import PAPER, paper_vm_clusters
+from repro.experiments.registry import chunk_count_for, \
+    chunk_size_behaviour, get
 from repro.experiments.reporting import format_table, mbps
 from repro.queueing.capacity import CapacityModel, solve_channel_capacity
-from repro.queueing.transitions import mixture_matrix, sequential_matrix, \
-    uniform_jump_matrix
 
-VIDEO_MINUTES = 100.0
-JUMP_EVERY_MINUTES = 15.0  # paper: exponential seeks, 15-minute mean
 ARRIVAL_RATE = 0.2
 
-
-def behaviour_for(num_chunks: int) -> np.ndarray:
-    """Viewing behaviour with the *same physical* VCR rate regardless of
-    chunking: jump probability per chunk = T0 / 15 min (capped)."""
-    t0_minutes = VIDEO_MINUTES / num_chunks
-    jump = min(0.45, t0_minutes / JUMP_EVERY_MINUTES)
-    cont = min(0.9, 0.95 - jump)
-    seq = sequential_matrix(num_chunks, continue_prob=min(0.95, cont + jump))
-    vcr = uniform_jump_matrix(num_chunks, continue_prob=cont, jump_prob=jump)
-    return mixture_matrix([seq, vcr], [0.35, 0.65])
+# The behaviour construction, chunk-count derivation and T0 grid live in
+# the registry (``ablation-chunk-size`` entry); this bench adds the
+# packing-based VM-switching analysis on top of the same cells.
+behaviour_for = chunk_size_behaviour
+T0_GRID = tuple(get("ablation-chunk-size").grid["t0_minutes"])
 
 
 def test_chunk_size_ablation(benchmark, emit):
     rows = []
     measured = {}
-    for t0_minutes in (1.0, 2.5, 5.0, 10.0, 25.0):
+    for t0_minutes in T0_GRID:
         t0 = t0_minutes * 60.0
-        num_chunks = int(VIDEO_MINUTES / t0_minutes)
+        num_chunks = chunk_count_for(t0_minutes)
         model = CapacityModel(
             streaming_rate=PAPER.streaming_rate,
             chunk_duration=t0,

@@ -14,31 +14,25 @@ import os
 import numpy as np
 import pytest
 
-from repro.core.predictor import (
-    EWMAPredictor,
-    LastIntervalPredictor,
-    MovingAveragePredictor,
-    SeasonalPredictor,
-)
-from repro.experiments.config import scenario_from_env
+from conftest import registry_scenario
+from repro.experiments.registry import get, make_predictor
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_closed_loop
 
-PREDICTORS = {
-    "last-interval (paper)": lambda: LastIntervalPredictor(),
-    "moving-average(3)": lambda: MovingAveragePredictor(window=3),
-    "ewma(0.5)": lambda: EWMAPredictor(beta=0.5),
-    "seasonal(24h, 0.5)": lambda: SeasonalPredictor(period=24, blend=0.5),
-}
+# The ``ablation-predictors`` registry entry's grid (one cell per
+# predictor; ``repro sweep ablation-predictors`` runs the same matrix).
+PREDICTOR_KEYS = tuple(get("ablation-predictors").grid["predictor"])
 
 
 @pytest.fixture(scope="module")
 def predictor_results():
     horizon = 48.0 if os.environ.get("REPRO_FULL") else 12.0
     results = {}
-    for name, factory in PREDICTORS.items():
-        scenario = scenario_from_env("client-server", horizon_hours=horizon)
-        results[name] = run_closed_loop(scenario, predictor=factory())
+    for key in PREDICTOR_KEYS:
+        scenario = registry_scenario(
+            "fig04", mode="client-server", horizon_hours=horizon
+        )
+        results[key] = run_closed_loop(scenario, predictor=make_predictor(key))
     return results
 
 
@@ -69,7 +63,7 @@ def test_predictor_ablation(benchmark, predictor_results, emit):
     observations = np.abs(np.sin(np.linspace(0, 6.28, 24))) + 0.1
 
     def sweep():
-        predictor = EWMAPredictor(beta=0.5)
+        predictor = make_predictor("ewma")
         total = 0.0
         for channel in range(20):
             for rate in observations:

@@ -7,6 +7,9 @@ mode's reserved/used levels sit far below the client-server mode's.
 The timed kernel is the controller's recurring hourly computation — the
 full Section IV demand analysis for one channel — since that is the
 operation whose cost scales with the catalogue.
+
+Registry scenario: ``fig04`` (``repro sweep fig04``); the shared
+closed-loop fixtures in conftest.py are its two grid cells.
 """
 
 import numpy as np

@@ -5,6 +5,8 @@ tradeoff for the large cost saving.
 
 Timed kernel: the per-sample quality computation over the user stores
 (the metric the system evaluates every five minutes).
+
+Registry scenario: ``fig05`` (``repro sweep fig05``).
 """
 
 import numpy as np

@@ -5,6 +5,8 @@ scales capacity with each channel's population, so big channels are not
 worse off than small ones.
 
 Timed kernel: extracting the scatter from the recorded samples.
+
+Registry scenario: ``fig06`` (``repro sweep fig06``).
 """
 
 import numpy as np

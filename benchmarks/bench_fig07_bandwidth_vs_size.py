@@ -6,6 +6,8 @@ the peer swarm absorbs the growth.
 
 Timed kernel: the P2P peer-contribution computation (Eqn (5)), which is
 the extra per-channel work the P2P controller does each interval.
+
+Registry scenario: ``fig07`` (``repro sweep fig07``).
 """
 
 import numpy as np

@@ -6,6 +6,8 @@ tracks its demand over the day, with bigger channels carrying more
 utility.
 
 Timed kernel: one full storage-rental heuristic solve over the catalogue.
+
+Registry scenario: ``fig08`` (``repro sweep fig08``).
 """
 
 import numpy as np

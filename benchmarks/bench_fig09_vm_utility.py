@@ -5,6 +5,8 @@ each channel's demand, so the per-channel aggregate VM utility
 (sum u~_v * z_iv) follows the channel's popularity over the day.
 
 Timed kernel: one full VM-allocation heuristic solve over the catalogue.
+
+Registry scenario: ``fig09`` (``repro sweep fig09``).
 """
 
 import numpy as np

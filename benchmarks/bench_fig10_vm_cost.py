@@ -6,6 +6,8 @@ adds that NFS storage costs ~$0.018/day, i.e. negligible next to VMs.
 
 Timed kernel: the billing meter's accrue-and-report path over a day of
 level changes.
+
+Registry scenario: ``fig10`` (``repro sweep fig10``).
 """
 
 import numpy as np

@@ -5,8 +5,9 @@ at 0.9, 1.0 and 1.2, the P2P system's average quality stays satisfactory
 (0.95, 0.95, 1.0) — the cloud absorbs whatever the swarm cannot supply.
 
 This bench runs three additional (shorter) closed-loop P2P scenarios, one
-per ratio. Timed kernel: the end-to-end P2P capacity analysis for one
-channel, the per-interval cost of the sufficiency machinery.
+per ratio — the ``fig11`` registry entry's grid (``repro sweep fig11``).
+Timed kernel: the end-to-end P2P capacity analysis for one channel, the
+per-interval cost of the sufficiency machinery.
 """
 
 import os
@@ -14,13 +15,15 @@ import os
 import numpy as np
 import pytest
 
-from repro.experiments.config import scenario_from_env
+from conftest import registry_scenario
 from repro.experiments.figures import fig11_quality_by_peer_bandwidth
+from repro.experiments.registry import get
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_closed_loop
+
 from repro.p2p.contribution import solve_p2p_channel_capacity
 
-RATIOS = (0.9, 1.0, 1.2)
+RATIOS = tuple(get("fig11").grid["upload_ratio"])
 
 
 @pytest.fixture(scope="module")
@@ -28,10 +31,8 @@ def ratio_results():
     horizon = 24.0 if os.environ.get("REPRO_FULL") else 8.0
     results = {}
     for ratio in RATIOS:
-        scenario = scenario_from_env(
-            "p2p",
-            horizon_hours=horizon,
-            peer_upload_mean=ratio * 50_000.0,
+        scenario = registry_scenario(
+            "fig11", upload_ratio=ratio, horizon_hours=horizon
         )
         results[ratio] = run_closed_loop(scenario)
     return results

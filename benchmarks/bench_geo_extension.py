@@ -12,60 +12,23 @@ region alone) versus pooling.
 
 import numpy as np
 
-from repro.cloud.cluster import VirtualClusterSpec
 from repro.experiments.config import PAPER, paper_capacity_model
+from repro.experiments.registry import GEO_REGION_OFFSETS, geo_demand_at, \
+    geo_topology
 from repro.experiments.reporting import format_table
 from repro.geo.allocation import GeoVMProblem, greedy_geo_allocation, \
     lp_geo_allocation
-from repro.geo.region import GeoTopology, RegionSpec
-from repro.queueing.capacity import solve_channel_capacity
+from repro.geo.region import GeoTopology
 from repro.vod.channel import default_behaviour_matrix
-from repro.workload.diurnal import DiurnalPattern
 
 R = PAPER.vm_bandwidth
-OFFSETS = {"us-east": -5.0, "eu-west": 1.0, "ap-south": 5.5}
+OFFSETS = GEO_REGION_OFFSETS
 
-
-def build_topology(vms_per_cluster=10):
-    def clusters(price_factor):
-        rows = [("standard", 0.6, 0.45), ("medium", 0.8, 0.70),
-                ("advanced", 1.0, 0.80)]
-        return tuple(
-            VirtualClusterSpec(n, u, p * price_factor, vms_per_cluster, R)
-            for n, u, p in rows
-        )
-
-    regions = [
-        RegionSpec("us-east", clusters(1.00)),
-        RegionSpec("eu-west", clusters(1.10)),
-        RegionSpec("ap-south", clusters(0.85)),
-    ]
-    return GeoTopology(
-        regions,
-        latency_ms={
-            ("us-east", "eu-west"): 80.0,
-            ("us-east", "ap-south"): 220.0,
-            ("eu-west", "ap-south"): 150.0,
-        },
-        egress_price_per_gb={
-            ("us-east", "eu-west"): 0.02,
-            ("us-east", "ap-south"): 0.05,
-            ("eu-west", "ap-south"): 0.04,
-        },
-        latency_halflife_ms=200.0,
-    )
-
-
-def demand_at(hour_utc, model, behaviour, base_rate=0.18):
-    pattern = DiurnalPattern()
-    demands = {}
-    for region, offset in OFFSETS.items():
-        factor = pattern.factor(((hour_utc + offset) % 24) * 3600.0)
-        result = solve_channel_capacity(
-            model, behaviour, base_rate * factor, alpha=0.8
-        )
-        demands[region] = {i: float(d) for i, d in enumerate(result.cloud_demand)}
-    return demands
+# Topology and per-hour demand construction live in the registry (the
+# ``geo`` entry sweeps the same cells); this bench adds the isolation
+# baseline and the pooled-vs-isolated comparison on top.
+build_topology = geo_topology
+demand_at = geo_demand_at
 
 
 def test_geo_extension(benchmark, emit):

@@ -1,8 +1,14 @@
 """Shared fixtures for the figure-reproduction benches.
 
-The closed-loop runs are expensive, so they are computed once per session
-and shared by every bench. Default scale is CI-sized (12 simulated hours,
-4 channels); set ``REPRO_FULL=1`` for the paper-scale run (100 simulated
+The closed-loop runs are built through the scenario registry
+(:mod:`repro.experiments.registry`) so the benches, ``repro run`` and
+``repro sweep`` all exercise the same execution path: the shared
+client-server/P2P runs here are exactly the ``fig04`` registry entry's
+two grid cells.
+
+The runs are expensive, so they are computed once per session and shared
+by every bench. Default scale is CI-sized (12 simulated hours, 4
+channels); set ``REPRO_FULL=1`` for the paper-scale run (100 simulated
 hours, 20 channels, ~2500 users — expect several minutes per mode).
 
 Each bench prints its figure's series (run pytest with ``-s`` to see them
@@ -14,28 +20,34 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.config import scenario_from_env
+from repro.experiments.registry import get
 from repro.experiments.runner import run_closed_loop
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def _horizon_hours() -> float:
-    return 100.0 if os.environ.get("REPRO_FULL", "").strip() in ("1", "true") else 12.0
+def _full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes")
+
+
+def registry_scenario(name: str, **params):
+    """One registry cell's ScenarioConfig at the env-selected scale."""
+    if _full_scale():
+        params.setdefault("scale", "paper")
+        params.setdefault("horizon_hours", 100.0)
+    return get(name).config(**params)
 
 
 @pytest.fixture(scope="session")
 def cs_result():
-    """Closed-loop client-server run shared by the benches."""
-    scenario = scenario_from_env("client-server", horizon_hours=_horizon_hours())
-    return run_closed_loop(scenario)
+    """Closed-loop client-server run shared by the benches (fig04 cell)."""
+    return run_closed_loop(registry_scenario("fig04", mode="client-server"))
 
 
 @pytest.fixture(scope="session")
 def p2p_result():
-    """Closed-loop P2P run shared by the benches."""
-    scenario = scenario_from_env("p2p", horizon_hours=_horizon_hours())
-    return run_closed_loop(scenario)
+    """Closed-loop P2P run shared by the benches (fig04 cell)."""
+    return run_closed_loop(registry_scenario("fig04", mode="p2p"))
 
 
 @pytest.fixture(scope="session")

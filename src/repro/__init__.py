@@ -24,9 +24,16 @@ Packages
 ``repro.workload``
     Synthetic workload generation matching the paper's trace (Section
     VI-A).
+``repro.sim``
+    The deterministic event-driven simulation kernel (clock, event queue,
+    seeded RNG streams) under the VoD and cloud substrates.
+``repro.geo``
+    Geo-distributed extension: regions, latency/egress-priced topology and
+    the multi-region allocation optimizers (Section VII future work).
 ``repro.experiments``
-    Paper parameter presets, the closed-loop runner, and per-figure series
-    generators (Section VI).
+    Paper parameter presets, the closed-loop runner, per-figure series
+    generators, the scenario registry and the parallel sweep orchestrator
+    (Section VI; ``repro scenarios`` / ``repro sweep``).
 
 Quickstart
 ----------
@@ -36,6 +43,6 @@ Quickstart
 True
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -12,6 +12,11 @@ Commands
     Run a closed-loop scenario end to end and print the summary.
 ``info``
     Print the paper's configuration (Tables II/III, constants, budgets).
+``scenarios``
+    List the scenario registry, or describe one scenario's knobs and grid.
+``sweep``
+    Fan a scenario's (grid x seeds) cells across worker processes, with
+    cached JSON artifacts (see :mod:`repro.experiments.sweep`).
 """
 
 from __future__ import annotations
@@ -72,7 +77,50 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=2011)
 
     sub.add_parser("info", help="print the paper's configuration")
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list or describe registered scenarios"
+    )
+    scenarios.add_argument("name", nargs="?", default=None,
+                           help="describe one scenario instead of listing")
+    scenarios.add_argument("--json", action="store_true", dest="as_json",
+                           help="machine-readable output")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a scenario's (grid x seeds) sweep in parallel"
+    )
+    sweep.add_argument("name", help="registered scenario name")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    sweep.add_argument("--seeds", type=int, default=1,
+                       help="number of seeds (base 2011, consecutive)")
+    sweep.add_argument("--seed-base", type=int, default=2011,
+                       help="first seed of the ladder")
+    sweep.add_argument("--out", default="results",
+                       help="artifact store root (default: results/)")
+    sweep.add_argument("--force", action="store_true",
+                       help="re-run cells even when cached artifacts exist")
+    sweep.add_argument("--set", action="append", default=[], dest="overrides",
+                       metavar="KEY=VALUE",
+                       help="override a grid axis or default parameter "
+                            "(repeatable; VALUE is parsed as JSON, e.g. "
+                            "--set mode=p2p --set 'upload_ratio=[0.9,1.2]')")
     return parser
+
+
+def _parse_overrides(pairs: List[str]) -> dict:
+    import json
+
+    overrides = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects KEY=VALUE, got {pair!r}")
+        try:
+            overrides[key] = json.loads(raw)
+        except ValueError:
+            overrides[key] = raw  # bare strings like p2p
+    return overrides
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -189,6 +237,133 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_json(spec) -> dict:
+    return {
+        "name": spec.name,
+        "title": spec.title,
+        "paper_ref": spec.paper_ref,
+        "grid": {k: list(v) for k, v in spec.grid.items()},
+        "defaults": dict(spec.defaults),
+        "tags": list(spec.tags),
+        "expected_seconds_per_cell": spec.expected_seconds,
+        "closed_loop": spec.build is not None,
+    }
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments import registry
+
+    if args.name is None:
+        if args.as_json:
+            print(json.dumps(
+                [_spec_json(spec) for spec in registry.specs()], indent=2
+            ))
+            return 0
+        rows = []
+        for spec in registry.specs():
+            cells = 1
+            for values in spec.grid.values():
+                cells *= len(values)
+            rows.append([
+                spec.name,
+                spec.paper_ref.split(" (")[0],
+                cells,
+                ",".join(spec.tags),
+                spec.title,
+            ])
+        print(format_table(
+            ["scenario", "paper", "grid cells", "tags", "description"],
+            rows,
+            title="registered scenarios (repro sweep <name>)",
+        ))
+        return 0
+
+    try:
+        spec = registry.get(args.name)
+    except registry.UnknownScenarioError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(_spec_json(spec), indent=2))
+        return 0
+    rows = [["title", spec.title], ["paper", spec.paper_ref],
+            ["tags", ", ".join(spec.tags) or "-"],
+            ["kind", "closed-loop" if spec.build is not None else "analytic"],
+            ["~s / cell", f"{spec.expected_seconds:g}"]]
+    for key, values in spec.grid.items():
+        rows.append([f"grid: {key}", ", ".join(str(v) for v in values)])
+    for key, value in spec.defaults.items():
+        rows.append([f"default: {key}", value])
+    print(format_table(["field", "value"], rows,
+                       title=f"scenario {spec.name!r}"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import registry
+    from repro.experiments.sweep import SweepError, run_sweep, seed_list
+
+    try:
+        registry.get(args.name)
+        overrides = _parse_overrides(args.overrides)
+        seeds = seed_list(args.seeds, base=args.seed_base)
+    except (registry.UnknownScenarioError, KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    def progress(outcome) -> None:
+        params = " ".join(
+            f"{k}={v}" for k, v in outcome.cell.params
+        )
+        state = "cached" if outcome.cached else \
+            f"ran in {outcome.duration_seconds:.1f}s"
+        print(f"  [{outcome.cell.hash}] seed={outcome.cell.seed} "
+              f"{params}: {state}")
+
+    try:
+        report = run_sweep(
+            args.name,
+            jobs=args.jobs,
+            seeds=seeds,
+            out_dir=args.out,
+            overrides=overrides,
+            force=args.force,
+            progress=progress,
+        )
+    except KeyError as exc:  # unknown --set parameter
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except (SweepError, ValueError) as exc:
+        # Failed cells (bad --set values surface here too); completed
+        # cells were saved and a re-run will reuse them.
+        print(exc.args[0], file=sys.stderr)
+        return 1
+
+    metric_names = report.metric_names()[:5]
+    rows = []
+    for outcome in report.outcomes:
+        rows.append(
+            [outcome.cell.hash, outcome.cell.seed,
+             " ".join(f"{k}={v}" for k, v in outcome.cell.params)]
+            + [f"{outcome.metrics.get(name, float('nan')):.3f}"
+               if isinstance(outcome.metrics.get(name), float)
+               else str(outcome.metrics.get(name, "-"))
+               for name in metric_names]
+        )
+    print()
+    print(format_table(
+        ["cell", "seed", "params"] + metric_names,
+        rows,
+        title=f"sweep {args.name!r}: {report.total} cells "
+              f"({report.ran} ran, {report.cached} cached) "
+              f"in {report.wall_seconds:.1f}s with {args.jobs} job(s)",
+    ))
+    print(f"artifacts: {report.out_dir / args.name}/")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -196,6 +371,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "run": _cmd_run,
         "info": _cmd_info,
+        "scenarios": _cmd_scenarios,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -9,6 +9,12 @@
   returning printable series.
 * :mod:`repro.experiments.reporting` — plain-text table rendering shared
   by the benches.
+* :mod:`repro.experiments.registry` — the scenario registry: every
+  figure/ablation/extension as a named :class:`ScenarioSpec` with a
+  default parameter grid (``repro scenarios``).
+* :mod:`repro.experiments.sweep` — the parallel sweep orchestrator with
+  per-cell hashing and an incremental on-disk artifact store
+  (``repro sweep <name> --jobs N --seeds K``).
 """
 
 from repro.experiments.config import (
@@ -24,6 +30,20 @@ from repro.experiments.config import (
     small_scenario,
 )
 from repro.experiments.runner import ClosedLoopResult, run_closed_loop
+from repro.experiments.registry import (
+    ScenarioSpec,
+    UnknownScenarioError,
+    summarize_closed_loop,
+)
+from repro.experiments.sweep import (
+    ArtifactStore,
+    SweepCell,
+    SweepError,
+    SweepReport,
+    cell_hash,
+    run_sweep,
+    seed_list,
+)
 
 __all__ = [
     "PAPER",
@@ -38,4 +58,14 @@ __all__ = [
     "small_scenario",
     "ClosedLoopResult",
     "run_closed_loop",
+    "ScenarioSpec",
+    "UnknownScenarioError",
+    "summarize_closed_loop",
+    "ArtifactStore",
+    "SweepCell",
+    "SweepError",
+    "SweepReport",
+    "cell_hash",
+    "run_sweep",
+    "seed_list",
 ]

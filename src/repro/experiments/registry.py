@@ -1,0 +1,630 @@
+"""Scenario registry: every experiment the repo can run, by name.
+
+Each paper figure, ablation and extension is registered here as a
+:class:`ScenarioSpec` — a factory that builds a
+:class:`~repro.experiments.config.ScenarioConfig` (or runs an analytic
+computation directly) plus a default parameter grid.  The registry is the
+single execution path shared by
+
+* the sweep orchestrator (:mod:`repro.experiments.sweep`, CLI
+  ``repro sweep <name>``),
+* the CLI scenario browser (``repro scenarios``), and
+* the figure-reproduction benches under ``benchmarks/`` (their fixtures
+  build configs through :func:`get`).
+
+A *cell* is one (scenario, grid-point, seed) triple; ``run_cell`` executes
+it and returns a flat JSON-serializable metrics dict, which the sweep
+layer hashes and caches.  Registering a new workload means writing one
+``register(ScenarioSpec(...))`` call — every later PR adds scenarios here
+rather than new hand-rolled scripts.
+"""
+
+from __future__ import annotations
+
+import difflib
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.cluster import VirtualClusterSpec
+from repro.core.predictor import (
+    ArrivalRatePredictor,
+    EWMAPredictor,
+    LastIntervalPredictor,
+    MovingAveragePredictor,
+    SeasonalPredictor,
+)
+from repro.experiments.config import (
+    PAPER,
+    ScenarioConfig,
+    paper_capacity_model,
+    paper_scenario,
+    small_scenario,
+)
+from repro.experiments.runner import ClosedLoopResult, run_closed_loop
+from repro.experiments.reporting import mbps
+from repro.geo.allocation import GeoVMProblem, greedy_geo_allocation, \
+    lp_geo_allocation
+from repro.geo.region import GeoTopology, RegionSpec
+from repro.queueing.capacity import CapacityModel, solve_channel_capacity
+from repro.queueing.transitions import mixture_matrix, sequential_matrix, \
+    uniform_jump_matrix
+from repro.vod.channel import default_behaviour_matrix
+from repro.workload.diurnal import DiurnalPattern
+
+__all__ = [
+    "ScenarioSpec",
+    "UnknownScenarioError",
+    "register",
+    "get",
+    "names",
+    "specs",
+    "make_predictor",
+    "summarize_closed_loop",
+    "closed_loop_config",
+    "chunk_size_behaviour",
+    "chunk_count_for",
+    "geo_topology",
+    "geo_demand_at",
+    "PREDICTORS",
+    "GEO_REGION_OFFSETS",
+]
+
+
+class UnknownScenarioError(KeyError):
+    """Raised for a scenario name that is not registered."""
+
+    def __init__(self, name: str, known: Sequence[str]):
+        suggestions = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
+        hint = f"; did you mean {', '.join(suggestions)}?" if suggestions else ""
+        super().__init__(
+            f"unknown scenario {name!r}{hint} "
+            f"(run `repro scenarios` for the full list)"
+        )
+        self.name = name
+        self.suggestions = suggestions
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named experiment: how to build it, run it, and sweep it.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``repro sweep <name>``).
+    title:
+        One-line human description.
+    paper_ref:
+        The paper figure/section/claim this reproduces.
+    grid:
+        Default sweep grid: parameter name -> tuple of candidate values.
+        Values must be JSON-serializable (the sweep hashes them).
+    defaults:
+        Non-grid parameters with their default values; CLI ``--set`` and
+        test overrides replace them per sweep.
+    build:
+        ``build(seed=..., **params) -> ScenarioConfig`` for closed-loop
+        scenarios; ``None`` for analytic scenarios that only define
+        ``run``.
+    run:
+        ``run(seed=..., **params) -> dict`` returning flat metrics.
+        When ``None``, the default is the closed-loop path:
+        ``summarize_closed_loop(run_closed_loop(build(...)))``.
+    expected_seconds:
+        Rough wall-clock per cell at the default (CI-sized) scale — shown
+        by ``repro scenarios`` and documented in docs/scenarios.md.
+    tags:
+        Free-form labels (``figure``, ``ablation``, ``extension``).
+    """
+
+    name: str
+    title: str
+    paper_ref: str
+    grid: Mapping[str, Tuple] = field(default_factory=dict)
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    build: Optional[Callable[..., ScenarioConfig]] = None
+    run: Optional[Callable[..., Dict[str, float]]] = None
+    expected_seconds: float = 1.0
+    tags: Tuple[str, ...] = ()
+
+    def full_params(self, params: Optional[Mapping] = None) -> Dict[str, object]:
+        """Defaults + first grid value for every parameter not given."""
+        merged: Dict[str, object] = {k: v[0] for k, v in self.grid.items()}
+        merged.update(self.defaults)
+        merged.update(params or {})
+        return merged
+
+    def config(self, seed: int = 2011, **params) -> ScenarioConfig:
+        """Build the scenario's :class:`ScenarioConfig` (closed-loop only)."""
+        if self.build is None:
+            raise ValueError(
+                f"scenario {self.name!r} is analytic and has no ScenarioConfig"
+            )
+        return self.build(seed=seed, **self.full_params(params))
+
+    def run_cell(self, params: Optional[Mapping] = None, seed: int = 2011
+                 ) -> Dict[str, float]:
+        """Execute one cell and return its flat metrics dict."""
+        full = self.full_params(params)
+        if self.run is not None:
+            return self.run(seed=seed, **full)
+        result = run_closed_loop(self.build(seed=seed, **full))
+        return summarize_closed_loop(result)
+
+    def grid_points(
+        self, overrides: Optional[Mapping[str, object]] = None
+    ) -> List[Dict[str, object]]:
+        """Cartesian product of the grid, with overrides applied.
+
+        An override whose value is a list/tuple replaces that axis of the
+        grid; a scalar pins the parameter to one value (also allowed for
+        non-grid ``defaults`` parameters, which adds them to every point).
+        """
+        axes: Dict[str, Tuple] = {k: tuple(v) for k, v in self.grid.items()}
+        pinned: Dict[str, object] = dict(self.defaults)
+        for key, value in (overrides or {}).items():
+            if key not in axes and key not in pinned:
+                known = sorted(set(axes) | set(pinned))
+                raise KeyError(
+                    f"scenario {self.name!r} has no parameter {key!r} "
+                    f"(knobs: {', '.join(known) or 'none'})"
+                )
+            if isinstance(value, (list, tuple)):
+                axes[key] = tuple(value)
+                pinned.pop(key, None)
+            elif key in axes:
+                axes[key] = (value,)
+            else:
+                pinned[key] = value
+        keys = sorted(axes)
+        points = []
+        for combo in itertools.product(*(axes[k] for k in keys)):
+            point = dict(pinned)
+            point.update(dict(zip(keys, combo)))
+            points.append(point)
+        return points
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a scenario to the registry (name must be unique)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> ScenarioSpec:
+    """Look a scenario up by name, with did-you-mean on failure."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(name, list(_REGISTRY)) from None
+
+
+def names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def specs() -> List[ScenarioSpec]:
+    return [_REGISTRY[n] for n in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# Shared building blocks.
+# ----------------------------------------------------------------------
+
+PREDICTORS: Dict[str, Callable[[], ArrivalRatePredictor]] = {
+    "last-interval": LastIntervalPredictor,
+    "moving-average": lambda: MovingAveragePredictor(window=3),
+    "ewma": lambda: EWMAPredictor(beta=0.5),
+    "seasonal": lambda: SeasonalPredictor(period=24, blend=0.5),
+}
+
+
+def make_predictor(key: str) -> ArrivalRatePredictor:
+    """Instantiate a predictor by its registry key (ablation knob)."""
+    try:
+        factory = PREDICTORS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown predictor {key!r} (choices: {', '.join(PREDICTORS)})"
+        ) from None
+    return factory()
+
+
+def summarize_closed_loop(result: ClosedLoopResult) -> Dict[str, float]:
+    """Flatten a closed-loop run into the sweep's JSON metrics schema.
+
+    Every value is a plain int/float so artifacts are directly
+    JSON-serializable and comparable across runs (see docs/scenarios.md
+    for the field glossary).
+    """
+    sim = result.simulation
+    reserved = np.asarray(result.provisioned_mbps(), dtype=float)
+    used = np.asarray(result.used_mbps(), dtype=float)
+    peer = np.asarray(result.peer_series, dtype=float) * 8.0 / 1e6
+    shortfalls = np.asarray([s.shortfall for s in sim.bandwidth], dtype=float)
+    coverage = float(np.mean(reserved >= used)) if reserved.size else 0.0
+    return {
+        "arrivals": int(sim.arrivals),
+        "final_population": int(sim.final_population),
+        "average_quality": float(result.average_quality),
+        "mean_reserved_mbps": float(reserved.mean()) if reserved.size else 0.0,
+        "mean_used_mbps": float(used.mean()) if used.size else 0.0,
+        "mean_peer_mbps": float(peer.mean()) if peer.size else 0.0,
+        "coverage_fraction": coverage,
+        "mean_shortfall_mbps": (
+            float(shortfalls.mean()) * 8.0 / 1e6 if shortfalls.size else 0.0
+        ),
+        "vm_cost_per_hour": float(result.mean_vm_cost_per_hour),
+        "storage_cost_per_day": float(
+            result.cost_report.hourly_storage_cost * 24.0
+        ),
+        "intervals": int(len(result.interval_times)),
+    }
+
+
+def closed_loop_config(
+    *,
+    seed: int = 2011,
+    mode: str = "p2p",
+    horizon_hours: float = 12.0,
+    scale: str = "small",
+    upload_ratio: Optional[float] = None,
+    num_channels: Optional[int] = None,
+    chunks_per_channel: Optional[int] = None,
+    target_population: Optional[int] = None,
+) -> ScenarioConfig:
+    """The one closed-loop ScenarioConfig factory behind every figure.
+
+    ``upload_ratio`` is the Fig 11 knob: mean peer upload expressed as a
+    multiple of the streaming rate.  ``scale`` selects the CI-sized preset
+    or the paper-scale one (channels/population/clusters per Section
+    VI-A); the size knobs default to the selected preset's values
+    (``None``) and override either preset when set, so a sweep's recorded
+    parameters always reflect the run.
+    """
+    upload_mean = (
+        None if upload_ratio is None
+        else float(upload_ratio) * PAPER.streaming_rate
+    )
+    if scale == "paper":
+        config = paper_scenario(
+            mode,
+            horizon_hours=float(horizon_hours),
+            seed=int(seed),
+            peer_upload_mean=upload_mean,
+        )
+    elif scale == "small":
+        config = small_scenario(
+            mode,
+            horizon_hours=float(horizon_hours),
+            seed=int(seed),
+            peer_upload_mean=upload_mean,
+        )
+    else:
+        raise ValueError(f"unknown scale {scale!r} (small or paper)")
+    sizes: Dict[str, int] = {}
+    if num_channels is not None:
+        sizes["num_channels"] = int(num_channels)
+    if chunks_per_channel is not None:
+        sizes["chunks_per_channel"] = int(chunks_per_channel)
+    if target_population is not None:
+        sizes["target_population"] = int(target_population)
+    return replace(config, **sizes) if sizes else config
+
+
+def _run_with_predictor(*, seed: int, predictor: str = "last-interval",
+                        **params) -> Dict[str, float]:
+    """Closed-loop run with the predictor ablation knob applied."""
+    config = closed_loop_config(seed=seed, **params)
+    result = run_closed_loop(config, predictor=make_predictor(predictor))
+    return summarize_closed_loop(result)
+
+
+# ----------------------------------------------------------------------
+# Chunk-size ablation (paper footnote 3) — analytic, no simulation.
+# ----------------------------------------------------------------------
+
+_VIDEO_MINUTES = 100.0
+_JUMP_EVERY_MINUTES = 15.0  # paper: exponential seeks, 15-minute mean
+
+
+def chunk_count_for(t0_minutes: float) -> int:
+    """Chunks in the ablation's 100-minute video at one chunk duration."""
+    return max(1, int(round(_VIDEO_MINUTES / float(t0_minutes))))
+
+
+def chunk_size_behaviour(num_chunks: int) -> np.ndarray:
+    """Viewing behaviour with the *same physical* VCR rate regardless of
+    chunking: jump probability per chunk = T0 / 15 min (capped)."""
+    t0_minutes = _VIDEO_MINUTES / num_chunks
+    jump = min(0.45, t0_minutes / _JUMP_EVERY_MINUTES)
+    cont = min(0.9, 0.95 - jump)
+    seq = sequential_matrix(num_chunks, continue_prob=min(0.95, cont + jump))
+    vcr = uniform_jump_matrix(num_chunks, continue_prob=cont, jump_prob=jump)
+    return mixture_matrix([seq, vcr], [0.35, 0.65])
+
+
+def _run_chunk_size(*, seed: int, t0_minutes: float = 5.0,
+                    arrival_rate: float = 0.2) -> Dict[str, float]:
+    """Capacity analysis for one chunk duration (seed-free, analytic)."""
+    del seed  # analytic: same answer for every seed
+    t0 = float(t0_minutes) * 60.0
+    num_chunks = chunk_count_for(t0_minutes)
+    model = CapacityModel(
+        streaming_rate=PAPER.streaming_rate,
+        chunk_duration=t0,
+        vm_bandwidth=PAPER.vm_bandwidth,
+    )
+    capacity = solve_channel_capacity(
+        model, chunk_size_behaviour(num_chunks), float(arrival_rate), alpha=0.8
+    )
+    return {
+        "num_chunks": int(num_chunks),
+        "provisioned_mbps": mbps(float(np.sum(capacity.cloud_demand))),
+        "servers": int(np.sum(capacity.servers)),
+        "expected_population": float(capacity.expected_population),
+        "chunk_crossings_per_hour": 3600.0 / t0,
+        "wasted_mb_per_jump": PAPER.streaming_rate * t0 / 2.0 / 1e6,
+    }
+
+
+# ----------------------------------------------------------------------
+# Geo extension (paper Section VII) — three regions, shifted flash crowds.
+# ----------------------------------------------------------------------
+
+GEO_REGION_OFFSETS: Dict[str, float] = {
+    "us-east": -5.0,
+    "eu-west": 1.0,
+    "ap-south": 5.5,
+}
+
+
+def geo_topology(vms_per_cluster: int = 10) -> GeoTopology:
+    """Three regions with Table II-style clusters and priced cross links."""
+    def clusters(price_factor: float) -> Tuple[VirtualClusterSpec, ...]:
+        rows = [("standard", 0.6, 0.45), ("medium", 0.8, 0.70),
+                ("advanced", 1.0, 0.80)]
+        return tuple(
+            VirtualClusterSpec(
+                n, u, p * price_factor, int(vms_per_cluster),
+                PAPER.vm_bandwidth,
+            )
+            for n, u, p in rows
+        )
+
+    regions = [
+        RegionSpec("us-east", clusters(1.00)),
+        RegionSpec("eu-west", clusters(1.10)),
+        RegionSpec("ap-south", clusters(0.85)),
+    ]
+    return GeoTopology(
+        regions,
+        latency_ms={
+            ("us-east", "eu-west"): 80.0,
+            ("us-east", "ap-south"): 220.0,
+            ("eu-west", "ap-south"): 150.0,
+        },
+        egress_price_per_gb={
+            ("us-east", "eu-west"): 0.02,
+            ("us-east", "ap-south"): 0.05,
+            ("eu-west", "ap-south"): 0.04,
+        },
+        latency_halflife_ms=200.0,
+    )
+
+
+def geo_demand_at(
+    hour_utc: float,
+    model: CapacityModel,
+    behaviour: np.ndarray,
+    base_rate: float = 0.18,
+) -> Dict[str, Dict[int, float]]:
+    """Per-region cloud demand at one UTC hour (time-zone-shifted crowds)."""
+    pattern = DiurnalPattern()
+    demands: Dict[str, Dict[int, float]] = {}
+    for region, offset in GEO_REGION_OFFSETS.items():
+        factor = pattern.factor(((hour_utc + offset) % 24) * 3600.0)
+        result = solve_channel_capacity(
+            model, behaviour, base_rate * factor, alpha=0.8
+        )
+        demands[region] = {
+            i: float(d) for i, d in enumerate(result.cloud_demand)
+        }
+    return demands
+
+
+def _run_geo(*, seed: int, hour_utc: float = 18.0, vms_per_cluster: int = 10,
+             budget_per_hour: float = 200.0, base_rate: float = 0.18,
+             chunks: int = 10) -> Dict[str, float]:
+    """Greedy vs LP geo allocation at one UTC hour (seed-free, analytic)."""
+    del seed
+    topology = geo_topology(int(vms_per_cluster))
+    model = paper_capacity_model()
+    behaviour = default_behaviour_matrix(int(chunks))
+    demands = geo_demand_at(float(hour_utc), model, behaviour,
+                            base_rate=float(base_rate))
+    problem = GeoVMProblem(
+        topology=topology,
+        demands=demands,
+        vm_bandwidth=PAPER.vm_bandwidth,
+        budget_per_hour=float(budget_per_hour),
+    )
+    greedy = greedy_geo_allocation(problem)
+    lp = lp_geo_allocation(problem)
+    gap = 1.0 - greedy.objective / lp.objective if lp.objective else 0.0
+    total_demand = sum(sum(d.values()) for d in demands.values())
+    return {
+        "objective": float(greedy.objective),
+        "lp_objective": float(lp.objective),
+        "optimality_gap": float(gap),
+        "remote_fraction": float(greedy.remote_fraction()),
+        "feasible": float(greedy.feasible),
+        "total_demand_mbps": mbps(float(total_demand)),
+    }
+
+
+# ----------------------------------------------------------------------
+# The registered scenarios.
+# ----------------------------------------------------------------------
+
+_MODE_GRID = {"mode": ("client-server", "p2p")}
+# None means "use the scale preset's value"; exposed so `--set
+# num_channels=8` etc. are accepted as sweep overrides (small scale only).
+_CLOSED_LOOP_DEFAULTS = {
+    "horizon_hours": 12.0,
+    "scale": "small",
+    "num_channels": None,
+    "chunks_per_channel": None,
+    "target_population": None,
+}
+
+register(ScenarioSpec(
+    name="fig04",
+    title="Cloud capacity provisioning vs usage over time",
+    paper_ref="Fig. 4 (Section VI-B)",
+    grid=_MODE_GRID,
+    defaults=_CLOSED_LOOP_DEFAULTS,
+    build=closed_loop_config,
+    expected_seconds=1.0,
+    tags=("figure",),
+))
+
+register(ScenarioSpec(
+    name="fig05",
+    title="Average streaming quality over time (C/S vs P2P)",
+    paper_ref="Fig. 5 (Section VI-B; paper averages 0.97 / 0.95)",
+    grid=_MODE_GRID,
+    defaults=_CLOSED_LOOP_DEFAULTS,
+    build=closed_loop_config,
+    expected_seconds=1.0,
+    tags=("figure",),
+))
+
+register(ScenarioSpec(
+    name="fig06",
+    title="Streaming quality vs channel size (client-server)",
+    paper_ref="Fig. 6 (Section VI-B)",
+    defaults={"mode": "client-server", **_CLOSED_LOOP_DEFAULTS},
+    build=closed_loop_config,
+    expected_seconds=1.0,
+    tags=("figure",),
+))
+
+register(ScenarioSpec(
+    name="fig07",
+    title="Provisioned cloud bandwidth vs channel size",
+    paper_ref="Fig. 7 (Section VI-B)",
+    grid=_MODE_GRID,
+    defaults=_CLOSED_LOOP_DEFAULTS,
+    build=closed_loop_config,
+    expected_seconds=1.0,
+    tags=("figure",),
+))
+
+register(ScenarioSpec(
+    name="fig08",
+    title="Aggregate storage utility per channel over time",
+    paper_ref="Fig. 8 (Section VI-C)",
+    defaults={"mode": "p2p", **_CLOSED_LOOP_DEFAULTS},
+    build=closed_loop_config,
+    expected_seconds=1.0,
+    tags=("figure",),
+))
+
+register(ScenarioSpec(
+    name="fig09",
+    title="Aggregate VM utility per channel over time",
+    paper_ref="Fig. 9 (Section VI-C)",
+    defaults={"mode": "p2p", **_CLOSED_LOOP_DEFAULTS},
+    build=closed_loop_config,
+    expected_seconds=1.0,
+    tags=("figure",),
+))
+
+register(ScenarioSpec(
+    name="fig10",
+    title="Overall VM rental cost over time",
+    paper_ref="Fig. 10 (Section VI-C; paper: ~$48/h C/S vs ~$4.27/h P2P)",
+    grid=_MODE_GRID,
+    defaults=_CLOSED_LOOP_DEFAULTS,
+    build=closed_loop_config,
+    expected_seconds=1.0,
+    tags=("figure",),
+))
+
+register(ScenarioSpec(
+    name="fig11",
+    title="P2P quality vs peer-upload sufficiency ratio",
+    paper_ref="Fig. 11 (Section VI-D; paper averages 0.95 / 0.95 / 1.00)",
+    grid={"upload_ratio": (0.9, 1.0, 1.2)},
+    defaults={**_CLOSED_LOOP_DEFAULTS, "mode": "p2p", "horizon_hours": 8.0},
+    build=closed_loop_config,
+    expected_seconds=1.0,
+    tags=("figure",),
+))
+
+register(ScenarioSpec(
+    name="ablation-predictors",
+    title="Demand predictor ablation on a diurnal flash-crowd day",
+    paper_ref="Section V-B (future-work knob: better predictors)",
+    grid={"predictor": tuple(PREDICTORS)},
+    defaults={"mode": "client-server", **_CLOSED_LOOP_DEFAULTS},
+    build=None,
+    run=_run_with_predictor,
+    expected_seconds=1.0,
+    tags=("ablation",),
+))
+
+register(ScenarioSpec(
+    name="ablation-chunk-size",
+    title="Chunk duration T0 selection (capacity vs switching vs waste)",
+    paper_ref="Footnote 3 (paper picks T0 = 5 minutes)",
+    grid={"t0_minutes": (1.0, 2.5, 5.0, 10.0, 25.0)},
+    defaults={"arrival_rate": 0.2},
+    build=None,
+    run=_run_chunk_size,
+    expected_seconds=0.5,
+    tags=("ablation", "analytic"),
+))
+
+register(ScenarioSpec(
+    name="flash-crowd",
+    title="One-day flash-crowd chase (controller lag vs predictor)",
+    paper_ref="Section VI-A workload (two daily flash crowds)",
+    grid={"predictor": ("last-interval", "ewma")},
+    defaults={
+        **_CLOSED_LOOP_DEFAULTS,
+        "mode": "client-server",
+        "horizon_hours": 24.0,
+        "target_population": 300,
+    },
+    build=None,
+    run=_run_with_predictor,
+    expected_seconds=2.0,
+    tags=("extension",),
+))
+
+register(ScenarioSpec(
+    name="geo",
+    title="Geo-distributed pooling vs isolation (greedy vs LP)",
+    paper_ref="Section VII (closing future work, implemented)",
+    grid={"hour_utc": (0.0, 6.0, 12.0, 18.0)},
+    defaults={
+        "vms_per_cluster": 10,
+        "budget_per_hour": 200.0,
+        "base_rate": 0.18,
+        "chunks": 10,
+    },
+    build=None,
+    run=_run_geo,
+    expected_seconds=0.5,
+    tags=("extension", "analytic"),
+))

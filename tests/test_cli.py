@@ -87,3 +87,72 @@ class TestInfo:
         assert "Table III" in out
         assert "$100.0/h" in out
         assert "standard" in out and "advanced" in out and "high" in out
+
+
+class TestScenarios:
+    def test_lists_registered_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig04", "fig05", "fig11", "ablation-predictors",
+                     "geo", "flash-crowd"):
+            assert name in out
+
+    def test_lists_json(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(entry["name"] == "fig05" for entry in payload)
+
+    def test_describe_one(self, capsys):
+        assert main(["scenarios", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "upload_ratio" in out
+        assert "Fig. 11" in out
+
+    def test_describe_json(self, capsys):
+        assert main(["scenarios", "fig11", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["grid"]["upload_ratio"] == [0.9, 1.0, 1.2]
+        assert payload["closed_loop"] is True
+
+    def test_unknown_scenario_fails(self, capsys):
+        assert main(["scenarios", "fig99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_smoke_and_cache(self, tmp_path, capsys):
+        args = ["sweep", "ablation-chunk-size", "--jobs", "1",
+                "--seeds", "1", "--out", str(tmp_path),
+                "--set", "t0_minutes=[5.0]"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "1 cells (1 ran, 0 cached)" in out
+        artifacts = list((tmp_path / "ablation-chunk-size").glob("*.json"))
+        assert len(artifacts) == 1
+
+        assert main(args) == 0
+        assert "1 cells (0 ran, 1 cached)" in capsys.readouterr().out
+
+    def test_closed_loop_smoke(self, tmp_path, capsys):
+        assert main(["sweep", "fig05", "--jobs", "1", "--seeds", "1",
+                     "--out", str(tmp_path),
+                     "--set", "mode=p2p", "--set", "horizon_hours=1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "average_quality" in out
+        payload = json.loads(
+            next((tmp_path / "fig05").glob("*.json")).read_text()
+        )
+        assert payload["params"]["mode"] == "p2p"
+
+    def test_unknown_scenario_fails(self, capsys):
+        assert main(["sweep", "fig99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unknown_set_parameter_fails(self, tmp_path, capsys):
+        assert main(["sweep", "fig05", "--out", str(tmp_path),
+                     "--set", "bogus=1"]) == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_malformed_set_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig05", "--out", str(tmp_path), "--set", "oops"])
