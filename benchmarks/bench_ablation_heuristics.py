@@ -2,7 +2,9 @@
 
 The paper solves Eqns (6) and (7) with utility-per-dollar greedy
 heuristics but never quantifies their optimality gap. This bench does,
-on the paper's own cluster configurations:
+on the paper's own cluster configurations, through the registry's
+``micro-heuristics`` scenario (``repro sweep micro-heuristics`` runs the
+same cells):
 
 * VM configuration is an LP (z is continuous), so ``lp_vm_allocation`` is
   the true optimum;
@@ -18,52 +20,33 @@ cluster with the best u/p while the objective only rewards u, leaving
 import numpy as np
 import pytest
 
-from repro.core.storage_rental import (
-    StorageProblem,
-    exhaustive_storage_rental,
-    greedy_storage_rental,
-    lp_storage_bound,
-)
-from repro.core.vm_allocation import VMProblem, greedy_vm_allocation, \
-    lp_vm_allocation
+from repro.core.storage_rental import StorageProblem, \
+    exhaustive_storage_rental, greedy_storage_rental
+from repro.core.vm_allocation import VMProblem, greedy_vm_allocation
 from repro.experiments.config import paper_nfs_clusters, paper_vm_clusters
+from repro.experiments.registry import get as registry_scenario, \
+    heuristic_demands
 from repro.experiments.reporting import format_table
 
 R = 10e6 / 8.0
 CHUNK = 15e6
 
 
-def make_demands(num_chunks, seed, scale=2.0):
-    rng = np.random.default_rng(seed)
-    return {
-        (c // 20, c % 20): float(rng.uniform(0.0, scale)) * R
-        for c in range(num_chunks)
-    }
-
-
 def test_vm_heuristic_vs_lp(benchmark, emit):
+    spec = registry_scenario("micro-heuristics")
     rows = []
     gaps = []
     for seed in range(5):
-        demands = make_demands(80, seed)
-        problem = VMProblem(
-            demands=demands,
-            vm_bandwidth=R,
-            clusters=paper_vm_clusters(),
-            budget_per_hour=100.0,
-        )
-        greedy = greedy_vm_allocation(problem)
-        lp = lp_vm_allocation(problem)
-        gap = 1.0 - greedy.objective / lp.objective if lp.objective else 0.0
-        gaps.append(gap)
+        metrics = spec.run_cell({}, seed=seed)
+        gaps.append(metrics["vm_gap"])
         rows.append(
             [
                 seed,
-                f"{greedy.objective:.1f}",
-                f"{lp.objective:.1f}",
-                f"{100 * gap:.1f}%",
-                f"{greedy.cost_per_hour:.1f}",
-                f"{lp.cost_per_hour:.1f}",
+                f"{metrics['vm_greedy_objective']:.1f}",
+                f"{metrics['vm_lp_objective']:.1f}",
+                f"{100 * metrics['vm_gap']:.1f}%",
+                f"{metrics['vm_greedy_cost_per_hour']:.1f}",
+                f"{metrics['vm_lp_cost_per_hour']:.1f}",
             ]
         )
     table = format_table(
@@ -84,7 +67,7 @@ def test_vm_heuristic_vs_lp(benchmark, emit):
     assert np.mean(gaps) < 0.5
 
     problem = VMProblem(
-        demands=make_demands(80, 0),
+        demands=heuristic_demands(80, 0),
         vm_bandwidth=R,
         clusters=paper_vm_clusters(),
         budget_per_hour=100.0,
@@ -93,20 +76,17 @@ def test_vm_heuristic_vs_lp(benchmark, emit):
 
 
 def test_storage_heuristic_vs_bounds(benchmark, emit):
+    spec = registry_scenario("micro-heuristics")
     rows = []
     for seed in range(5):
-        demands = make_demands(60, 100 + seed, scale=1.0)
-        problem = StorageProblem(
-            demands=demands,
-            chunk_size_bytes=CHUNK,
-            clusters=paper_nfs_clusters(),
-            budget_per_hour=1.0,
-        )
-        greedy = greedy_storage_rental(problem)
-        bound = lp_storage_bound(problem)
-        gap = 1.0 - greedy.objective / bound if bound else 0.0
+        metrics = spec.run_cell({}, seed=100 + seed)
         rows.append(
-            [seed, f"{greedy.objective:.2e}", f"{bound:.2e}", f"{100 * gap:.1f}%"]
+            [
+                100 + seed,
+                f"{metrics['storage_greedy_objective']:.2e}",
+                f"{metrics['storage_lp_bound']:.2e}",
+                f"{100 * metrics['storage_gap']:.1f}%",
+            ]
         )
     table = format_table(
         ["seed", "greedy obj", "LP bound", "gap"],
@@ -141,8 +121,10 @@ def test_storage_heuristic_vs_bounds(benchmark, emit):
     assert greedy_small.objective == pytest.approx(7.9)
     assert exact_small.objective == pytest.approx(9.1)
 
+    # Same instance the pre-migration bench timed (default scale=2.0),
+    # so the recorded perf series stays comparable across PRs.
     problem = StorageProblem(
-        demands=make_demands(60, 100),
+        demands=heuristic_demands(60, 100),
         chunk_size_bytes=CHUNK,
         clusters=paper_nfs_clusters(),
         budget_per_hour=1.0,

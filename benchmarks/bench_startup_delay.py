@@ -3,14 +3,17 @@
 The paper targets smooth playback (mean sojourn <= T0 in every chunk
 queue) but does not report start-up delay, the metric its related work
 (ref [17]) centres on. Since the start-up delay is exactly the first
-chunk's sojourn, the capacity plan implies a full distribution for it —
-this bench reports the mean and tail across arrival-rate levels and
-verifies the closed form against the event-driven queue simulator.
+chunk's sojourn, the capacity plan implies a full distribution for it.
+The numbers come from the registry's ``micro-startup-delay`` scenario
+(``repro sweep micro-startup-delay`` runs the same cells over the
+arrival-rate grid); the closed form is cross-checked against the
+event-driven queue simulator here.
 """
 
 import numpy as np
 
 from repro.experiments.config import paper_capacity_model
+from repro.experiments.registry import get as registry_scenario
 from repro.experiments.reporting import format_table
 from repro.queueing.capacity import solve_channel_capacity
 from repro.queueing.startup import channel_startup_delay
@@ -21,21 +24,21 @@ from repro.vod.queue_sim import JacksonChannelSimulator
 def test_startup_delay(benchmark, emit):
     model = paper_capacity_model()
     behaviour = uniform_jump_matrix(10, 0.6, 0.2)
+    spec = registry_scenario("micro-startup-delay")
 
     rows = []
     means = []
-    for rate in (0.02, 0.1, 0.5, 2.0):
-        capacity = solve_channel_capacity(model, behaviour, rate, alpha=0.8)
-        startup = channel_startup_delay(capacity)
-        means.append(startup.mean)
+    for rate in spec.grid["arrival_rate"]:
+        metrics = spec.run_cell({"arrival_rate": rate})
+        means.append(metrics["mean_startup_seconds"])
         rows.append(
             [
                 f"{rate:.2f}",
-                int(capacity.servers[0]),
-                f"{startup.wait_probability:.3f}",
-                f"{startup.mean:.1f}",
-                f"{startup.quantile(0.95):.1f}",
-                f"{startup.quantile(0.99):.1f}",
+                int(metrics["servers_first_chunk"]),
+                f"{metrics['wait_probability']:.3f}",
+                f"{metrics['mean_startup_seconds']:.1f}",
+                f"{metrics['p95_startup_seconds']:.1f}",
+                f"{metrics['p99_startup_seconds']:.1f}",
             ]
         )
     table = format_table(

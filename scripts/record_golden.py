@@ -1,0 +1,135 @@
+"""Record golden kernel trajectories for the parity tests.
+
+The step-kernel refactor contract (docs/performance.md) is that the
+vectorized kernel reproduces the scalar kernel's fixed-seed trajectories
+*byte for byte*: same per-channel RNG stream consumption order, same
+float accumulation order, hence identical quality series, bandwidth
+series and arrival/departure counts.
+
+This script runs the small fixed-capacity kernel scenarios plus two
+closed-loop runs and writes their trajectories to ``tests/golden/``.
+JSON float serialization uses ``repr`` round-tripping, so the recorded
+values are binary-exact.
+
+Regenerating the fixtures is only legitimate from a commit whose kernel
+is already known to be trajectory-preserving (e.g. the pre-refactor
+scalar kernel, or a later commit that intentionally changes trajectories
+and says so in its changelog):
+
+    PYTHONPATH=src python scripts/record_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.config import small_scenario
+from repro.experiments.runner import run_closed_loop
+from repro.vod.simulator import VoDSimulator, VoDSystemConfig
+from repro.workload.trace import generate_trace
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+
+def kernel_trajectory(mode: str, *, steps: int = 360,
+                      capacity_per_chunk: float = 400_000.0) -> dict:
+    """Run the raw step kernel (no controller) and dump its trajectory.
+
+    The capacity is deliberately scarce so the run exercises every kernel
+    path: smooth and unsmooth completions, playback holds, departures and
+    (in p2p mode) rarest-first peer allocation with cloud top-up.
+    """
+    scenario = small_scenario(
+        mode,
+        num_channels=3,
+        chunks_per_channel=6,
+        target_population=180,
+        horizon_hours=4.0,
+        seed=2011,
+    )
+    trace = generate_trace(scenario.trace_config())
+    config = VoDSystemConfig(
+        mode=mode,
+        dt=10.0,
+        user_rate_cap=scenario.constants.vm_bandwidth,
+        sojourn_slack=1.0,
+        seed=scenario.seed,
+    )
+    sim = VoDSimulator(scenario.channels(), trace, config)
+    for spec in sim.channels:
+        sim.set_cloud_capacity(
+            spec.channel_id, np.full(spec.num_chunks, capacity_per_chunk)
+        )
+    for _ in range(steps):
+        sim.step()
+    result = sim.result()
+    t, cloud, peer = result.bandwidth_series()
+    qt, qv = result.quality.quality_series()
+    return {
+        "scenario": {"mode": mode, "steps": steps,
+                     "capacity_per_chunk": capacity_per_chunk},
+        "arrivals": int(result.arrivals),
+        "departures": int(result.departures),
+        "final_population": int(result.final_population),
+        "total_retrievals": int(result.quality.total_retrievals),
+        "unsmooth_retrievals": int(result.quality.unsmooth_retrievals),
+        "mean_sojourn": float(result.quality.mean_sojourn),
+        "bandwidth_times": [float(x) for x in t],
+        "cloud_used": [float(x) for x in cloud],
+        "peer_used": [float(x) for x in peer],
+        "shortfall": [float(s.shortfall) for s in result.bandwidth],
+        "quality_times": [float(x) for x in qt],
+        "quality": [float(x) for x in qv],
+    }
+
+
+def closed_loop_trajectory(mode: str) -> dict:
+    """Run the full closed loop (controller in the loop) and dump it."""
+    scenario = small_scenario(mode, horizon_hours=3.0, seed=2011)
+    result = run_closed_loop(scenario)
+    sim = result.simulation
+    qt, qv = sim.quality.quality_series()
+    return {
+        "scenario": {"mode": mode, "horizon_hours": 3.0},
+        "arrivals": int(sim.arrivals),
+        "departures": int(sim.departures),
+        "final_population": int(sim.final_population),
+        "total_retrievals": int(sim.quality.total_retrievals),
+        "average_quality": float(sim.quality.average_quality),
+        "mean_sojourn": float(sim.quality.mean_sojourn),
+        "used_series": [float(x) for x in result.used_series],
+        "peer_series": [float(x) for x in result.peer_series],
+        "provisioned_series": [float(x) for x in result.provisioned_series],
+        "population_series": [int(x) for x in result.population_series],
+        "quality_times": [float(x) for x in qt],
+        "quality": [float(x) for x in qv],
+    }
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    fixtures = {
+        "kernel_client_server.json": kernel_trajectory("client-server"),
+        "kernel_p2p.json": kernel_trajectory("p2p"),
+        "closed_loop_client_server.json": closed_loop_trajectory(
+            "client-server"
+        ),
+        "closed_loop_p2p.json": closed_loop_trajectory("p2p"),
+    }
+    for name, payload in fixtures.items():
+        path = GOLDEN_DIR / name
+        path.write_text(json.dumps(payload, indent=1) + "\n")
+        print(
+            f"wrote {path} (arrivals={payload['arrivals']}, "
+            f"departures={payload['departures']}, "
+            f"retrievals={payload['total_retrievals']})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

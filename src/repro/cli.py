@@ -344,9 +344,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     metric_names = report.metric_names()[:5]
     rows = []
     for outcome in report.outcomes:
+        wall = f"{outcome.duration_seconds:.1f}s"
+        if outcome.cached:
+            wall += "*"  # recorded when the cached artifact was created
         rows.append(
             [outcome.cell.hash, outcome.cell.seed,
-             " ".join(f"{k}={v}" for k, v in outcome.cell.params)]
+             " ".join(f"{k}={v}" for k, v in outcome.cell.params), wall]
             + [f"{outcome.metrics.get(name, float('nan')):.3f}"
                if isinstance(outcome.metrics.get(name), float)
                else str(outcome.metrics.get(name, "-"))
@@ -354,11 +357,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     print()
     print(format_table(
-        ["cell", "seed", "params"] + metric_names,
+        ["cell", "seed", "params", "time"] + metric_names,
         rows,
         title=f"sweep {args.name!r}: {report.total} cells "
               f"({report.ran} ran, {report.cached} cached) "
-              f"in {report.wall_seconds:.1f}s with {args.jobs} job(s)",
+              f"in {report.wall_seconds:.1f}s with {args.jobs} job(s) "
+              f"[* = cached]",
     ))
     print(f"artifacts: {report.out_dir / args.name}/")
     return 0

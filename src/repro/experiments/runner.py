@@ -140,32 +140,38 @@ def run_closed_loop(
     # ------------------------------------------------------------------
     # Periodic provisioning loop.
     # ------------------------------------------------------------------
-    result = ClosedLoopResult(
-        scenario=scenario,
-        simulation=None,  # type: ignore[arg-type] - filled below
-        decisions=controller.decisions,
-        cost_report=None,  # type: ignore[arg-type] - filled below
-    )
+    interval_times: List[float] = []
+    used_series: List[float] = []
+    peer_series: List[float] = []
+    provisioned_series: List[float] = []
+    population_series: List[int] = []
+    channel_population_series: List[Dict[int, int]] = []
+    vm_cost_series: List[float] = []
+
     num_intervals = int(np.ceil(scenario.horizon_seconds / interval))
     samples_before = 0
+    log = simulator.bandwidth
     for k in range(1, num_intervals + 1):
         t_end = min(k * interval, scenario.horizon_seconds)
         simulator.advance_to(t_end)
 
-        # Interval-aggregate bandwidth for the Fig 4 series.
-        window = simulator.bandwidth[samples_before:]
-        samples_before = len(simulator.bandwidth)
-        used = float(np.mean([s.cloud_used for s in window])) if window else 0.0
-        peer = float(np.mean([s.peer_used for s in window])) if window else 0.0
-        provisioned = (
-            float(np.mean([s.provisioned for s in window])) if window else 0.0
+        # Interval-aggregate bandwidth for the Fig 4 series, straight off
+        # the array-backed log (no per-sample object traffic).
+        window = slice(samples_before, len(log))
+        empty = window.start == window.stop
+        samples_before = len(log)
+        interval_times.append(t_end)
+        used_series.append(
+            0.0 if empty else float(np.mean(log.cloud_used[window]))
         )
-        result.interval_times.append(t_end)
-        result.used_series.append(used)
-        result.peer_series.append(peer)
-        result.provisioned_series.append(provisioned)
-        result.population_series.append(simulator.population())
-        result.channel_population_series.append(simulator.channel_populations())
+        peer_series.append(
+            0.0 if empty else float(np.mean(log.peer_used[window]))
+        )
+        provisioned_series.append(
+            0.0 if empty else float(np.mean(log.provisioned[window]))
+        )
+        population_series.append(simulator.population())
+        channel_population_series.append(simulator.channel_populations())
 
         if t_end >= scenario.horizon_seconds:
             break
@@ -175,8 +181,18 @@ def run_closed_loop(
         decision = controller.run_interval(t_end, peer_upload=peer_upload)
         for channel_id, capacity in decision.per_channel_capacity.items():
             simulator.set_cloud_capacity(channel_id, capacity)
-        result.vm_cost_series.append(decision.hourly_vm_cost)
+        vm_cost_series.append(decision.hourly_vm_cost)
 
-    result.simulation = simulator.result()
-    result.cost_report = facility.billing.report(simulator.now)
-    return result
+    return ClosedLoopResult(
+        scenario=scenario,
+        simulation=simulator.result(),
+        decisions=controller.decisions,
+        cost_report=facility.billing.report(simulator.now),
+        interval_times=interval_times,
+        provisioned_series=provisioned_series,
+        used_series=used_series,
+        peer_series=peer_series,
+        population_series=population_series,
+        channel_population_series=channel_population_series,
+        vm_cost_series=vm_cost_series,
+    )

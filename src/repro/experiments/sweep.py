@@ -72,7 +72,9 @@ class SweepError(RuntimeError):
 
 #: Bump when the artifact layout or the hashed identity changes; old
 #: artifacts then miss the cache instead of being misread.
-ARTIFACT_SCHEMA = 1
+#: Schema 2: top-level ``wall_seconds`` next to ``metrics``; closed-loop
+#: metrics grew ``steps``, ``peak_step_events`` and ``peak_population``.
+ARTIFACT_SCHEMA = 2
 
 
 def _canonical(params: Mapping[str, object]) -> Dict[str, object]:
@@ -214,6 +216,7 @@ class ArtifactStore:
             "params": cell.params_dict,
             "seed": cell.seed,
             "metrics": dict(metrics),
+            "wall_seconds": duration_seconds,
             "meta": {
                 "created_unix": time.time(),
                 "duration_seconds": duration_seconds,
@@ -311,7 +314,7 @@ def run_sweep(
                 metrics=dict(payload["metrics"]),  # type: ignore[arg-type]
                 path=store.path(cell),
                 cached=True,
-                duration_seconds=0.0,
+                duration_seconds=float(payload.get("wall_seconds", 0.0)),
             ))
         else:
             pending.append(cell)

@@ -67,6 +67,21 @@ class RandomStreams:
             self._streams[key] = make_rng(self.seed, key)
         return self._streams[key]
 
+    def batch(self, n: int, *names: str) -> np.ndarray:
+        """Draw ``n`` uniforms in ``[0, 1)`` from the named stream at once.
+
+        Stream-compatible with scalar draws: numpy's bit generators
+        consume the underlying stream identically whether doubles are
+        requested one at a time or as a block, so
+        ``streams.batch(n, "x")`` yields exactly the values ``n``
+        successive ``streams.get("x").random()`` calls would have — the
+        invariant the vectorized step kernel's golden parity rests on
+        (and that ``tests/test_kernel_parity.py`` pins down).
+        """
+        if n < 0:
+            raise ValueError("batch size must be >= 0")
+        return self.get(*names).random(n)
+
     def spawn(self, *names: str) -> "RandomStreams":
         """Create a child registry with an independent derived seed."""
         if self.seed is None:

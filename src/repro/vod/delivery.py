@@ -13,6 +13,11 @@ P2P (mesh-pull, rarest-first): peer upload capacity is allocated to chunks
 in increasing order of replication, each chunk drawing from its owners'
 remaining upload; the cloud supplies only the shortfall ("resort to
 streaming servers only when deemed necessary").
+
+Both models share the :class:`DeliveryModel` base (per-user cap
+validation, per-chunk demand accounting). The P2P inner loop slices the
+ownership matrix once per step, iterates only chunks that have both
+demand and owners, and draws down the owners' remaining upload in place.
 """
 
 from __future__ import annotations
@@ -24,7 +29,12 @@ import numpy as np
 
 from repro.vod.user import UserStore
 
-__all__ = ["DeliveryOutcome", "ClientServerDelivery", "P2PDelivery"]
+__all__ = [
+    "DeliveryOutcome",
+    "DeliveryModel",
+    "ClientServerDelivery",
+    "P2PDelivery",
+]
 
 
 @dataclass(frozen=True)
@@ -50,22 +60,38 @@ class DeliveryOutcome:
     cloud_shortfall: float
 
 
-class ClientServerDelivery:
-    """All demand is served by the cloud (paper's C/S mode)."""
+class DeliveryModel:
+    """Shared surface of the per-channel delivery models."""
 
     def __init__(self, user_cap: float) -> None:
         if user_cap <= 0:
             raise ValueError("per-user rate cap must be > 0")
         self.user_cap = user_cap
 
-    def allocate(
+    def _chunk_state(
         self, store: UserStore, cloud_capacity: np.ndarray
-    ) -> DeliveryOutcome:
-        """Share each chunk's cloud capacity equally among its downloaders."""
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(downloaders, capacity) per chunk, shape-checked."""
         downloaders = store.downloaders_per_chunk().astype(float)
         capacity = np.asarray(cloud_capacity, dtype=float)
         if capacity.shape != downloaders.shape:
             raise ValueError("cloud capacity must have one entry per chunk")
+        return downloaders, capacity
+
+    def allocate(
+        self, store: UserStore, cloud_capacity: np.ndarray
+    ) -> DeliveryOutcome:
+        raise NotImplementedError
+
+
+class ClientServerDelivery(DeliveryModel):
+    """All demand is served by the cloud (paper's C/S mode)."""
+
+    def allocate(
+        self, store: UserStore, cloud_capacity: np.ndarray
+    ) -> DeliveryOutcome:
+        """Share each chunk's cloud capacity equally among its downloaders."""
+        downloaders, capacity = self._chunk_state(store, cloud_capacity)
         rates = np.zeros_like(capacity)
         busy = downloaders > 0
         rates[busy] = np.minimum(self.user_cap, capacity[busy] / downloaders[busy])
@@ -79,13 +105,8 @@ class ClientServerDelivery:
         )
 
 
-class P2PDelivery:
+class P2PDelivery(DeliveryModel):
     """Mesh-pull P2P with rarest-first peer allocation and cloud top-up."""
-
-    def __init__(self, user_cap: float) -> None:
-        if user_cap <= 0:
-            raise ValueError("per-user rate cap must be > 0")
-        self.user_cap = user_cap
 
     def allocate(
         self, store: UserStore, cloud_capacity: np.ndarray
@@ -97,10 +118,7 @@ class P2PDelivery:
         its owners' *remaining* upload capacity proportionally — the fluid
         counterpart of the paper's Eqn (5) accounting.
         """
-        downloaders = store.downloaders_per_chunk().astype(float)
-        capacity = np.asarray(cloud_capacity, dtype=float)
-        if capacity.shape != downloaders.shape:
-            raise ValueError("cloud capacity must have one entry per chunk")
+        downloaders, capacity = self._chunk_state(store, cloud_capacity)
 
         active = store.active_indices()
         num_chunks = store.num_chunks
@@ -108,30 +126,46 @@ class P2PDelivery:
         if active.size == 0:
             return DeliveryOutcome(rates, 0.0, 0.0, 0.0)
 
-        owned = store.owned[active]  # (n_active, J) bool
-        remaining = store.upload[active].copy()  # peers' unallocated upload
-        owners_count = owned.sum(axis=0)
-
-        # Rarest first among chunks with both demand and at least one owner.
+        # Rarest first among chunks with both demand and at least one owner
+        # (chunks failing either test can contribute no peer supply — skip
+        # them before touching any per-user array). Owner counts are
+        # maintained incrementally by the store, so ordering the chunks
+        # costs O(J), not a matrix reduction.
+        owners_count = store.owners_per_chunk()
         order = np.lexsort((np.arange(num_chunks), owners_count))
+        order = order[(downloaders[order] > 0) & (owners_count[order] > 0)]
         peer_supply = np.zeros(num_chunks, dtype=float)
-        for chunk in order:
-            if downloaders[chunk] <= 0:
-                continue
-            mask = owned[:, chunk]
-            if not mask.any():
-                continue
-            pool = remaining[mask]
-            available = float(pool.sum())
-            if available <= 0:
-                continue
-            demand = downloaders[chunk] * self.user_cap
-            take = min(demand, available)
-            if take <= 0:
-                continue
-            # Draw proportionally from each owner's remaining capacity.
-            remaining[mask] = pool * (1.0 - take / available)
-            peer_supply[chunk] = take
+        if order.size:
+            # The store maintains a transposed, arrival-ordered mirror of
+            # (ownership x upload), so each visited chunk's owner mask is
+            # a contiguous row view with no per-step matrix slicing;
+            # `remaining` (the peers' unallocated upload) is the only
+            # per-user array materialized, drawn down in place.
+            owned, upload = store.peer_supply_mirror()
+            remaining = upload.copy()
+            for chunk in order:
+                # Integer owner indices beat boolean masks here: the
+                # gather/scatter then touch owners(chunk) elements, not
+                # every mirror column.
+                owners = np.nonzero(owned[chunk])[0]
+                pool = remaining[owners]
+                available = float(np.add.reduce(pool))
+                if available <= 0:
+                    continue
+                demand = downloaders[chunk] * self.user_cap
+                take = min(demand, available)
+                if take <= 0:
+                    continue
+                # Draw proportionally from each owner's remaining capacity.
+                if take == available:
+                    remaining[owners] = 0.0  # demand-limited: full drain
+                else:
+                    remaining[owners] = pool * (1.0 - take / available)
+                peer_supply[chunk] = take
+                # Once *every* peer is drained the remaining chunks can
+                # only sum to zero and be skipped, so stop scanning them.
+                if take == available and not remaining.any():
+                    break
 
         cloud_used_per_chunk = np.zeros(num_chunks, dtype=float)
         busy = downloaders > 0

@@ -79,6 +79,38 @@ class QualityTracker:
                 self._per_channel_unsmooth.get(channel, 0) + 1
             )
 
+    def record_retrievals(
+        self,
+        time: float,
+        channel: int,
+        chunks: np.ndarray,
+        sojourns: np.ndarray,
+        smooth: np.ndarray,
+    ) -> None:
+        """Batch :meth:`record_retrieval` for one channel's step.
+
+        The sojourn accumulator uses a vectorized partial sum, so its
+        float rounding can differ from scalar accumulation in the last
+        ulp; ``mean_sojourn`` is a reporting-only aggregate (nothing
+        feeds it back into the control loop), so it sits deliberately
+        outside the kernel's byte-identical parity contract.
+        """
+        del time  # kept for signature symmetry with record_retrieval
+        count = int(len(chunks))
+        if count == 0:
+            return
+        self.total_retrievals += count
+        self._sojourn_sum += float(np.sum(sojourns))
+        self._per_channel_retrievals[channel] = (
+            self._per_channel_retrievals.get(channel, 0) + count
+        )
+        unsmooth = count - int(np.count_nonzero(smooth))
+        if unsmooth:
+            self.unsmooth_retrievals += unsmooth
+            self._per_channel_unsmooth[channel] = (
+                self._per_channel_unsmooth.get(channel, 0) + unsmooth
+            )
+
     def record_sample(
         self,
         time: float,

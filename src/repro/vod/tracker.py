@@ -125,11 +125,47 @@ class TrackingServer:
         stats.upload_capacity_sum += upload_capacity
         stats.upload_capacity_samples += 1
 
+    def record_arrivals(
+        self,
+        channel_id: int,
+        start_chunks: np.ndarray,
+        upload_capacities: np.ndarray,
+    ) -> None:
+        """Batch :meth:`record_arrival` (one step's admissions, one call).
+
+        The upload-capacity accumulator is advanced element by element in
+        input order — summation order is part of the kernel's parity
+        contract — while the integer-valued counts are vectorized.
+        """
+        stats = self._stats[channel_id]
+        count = len(start_chunks)
+        stats.arrivals += count
+        np.add.at(stats.start_chunk_counts, start_chunks, 1.0)
+        for value in upload_capacities.tolist():
+            stats.upload_capacity_sum += value
+        stats.upload_capacity_samples += count
+
     def record_transition(self, channel_id: int, from_chunk: int, to_chunk: int) -> None:
         self._stats[channel_id].transition_counts[from_chunk, to_chunk] += 1
 
+    def record_transitions(
+        self, channel_id: int, from_chunks: np.ndarray, to_chunks: np.ndarray
+    ) -> None:
+        """Batch :meth:`record_transition` (one step's moves, one call)."""
+        np.add.at(
+            self._stats[channel_id].transition_counts,
+            (from_chunks, to_chunks),
+            1.0,
+        )
+
     def record_departure(self, channel_id: int, from_chunk: int) -> None:
         self._stats[channel_id].departure_counts[from_chunk] += 1
+
+    def record_departures(self, channel_id: int, from_chunks: np.ndarray) -> None:
+        """Batch :meth:`record_departure`."""
+        np.add.at(
+            self._stats[channel_id].departure_counts, from_chunks, 1.0
+        )
 
     # ------------------------------------------------------------------
     # P2P protocol surface

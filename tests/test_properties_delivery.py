@@ -30,7 +30,7 @@ def store_and_capacity(draw):
         uid = store.add_user(0.0, chunk, upload)
         # Random buffered chunks.
         owned = rng.random(NUM_CHUNKS) < 0.4
-        store.owned[uid] = owned
+        store.grant_chunks(uid, owned)
         # Some users are watching (holding), not downloading.
         if rng.random() < 0.25:
             store.begin_hold(uid, 100.0, 0, chunk)

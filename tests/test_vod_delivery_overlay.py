@@ -17,7 +17,7 @@ def store_with(downloads, owners=(), uploads=100_000.0, num_chunks=4):
     store = UserStore(num_chunks)
     ids = [store.add_user(0.0, c, uploads) for c in downloads]
     for user_index, chunk in owners:
-        store.owned[ids[user_index], chunk] = True
+        store.grant_chunks(ids[user_index], chunk)
     return store, ids
 
 
@@ -93,9 +93,8 @@ class TestP2P:
         d1 = store.add_user(0.0, 1, 0.0)  # downloads chunk 1
         up = store.add_user(0.0, 2, 50_000.0)  # owns both
         o2 = store.add_user(0.0, 3, 0.0)  # extra owner of chunk 1 (no upload)
-        store.owned[up, 0] = True
-        store.owned[up, 1] = True
-        store.owned[o2, 1] = True
+        store.grant_chunks(up, [0, 1])
+        store.grant_chunks(o2, 1)
         delivery = P2PDelivery(user_cap=R)
         outcome = delivery.allocate(store, np.zeros(4))
         # All 50 KB/s go to chunk 0 (rarest: 1 owner vs 2).
@@ -106,7 +105,7 @@ class TestP2P:
         store, ids = store_with([0], owners=[], uploads=0.0)
         # Give one owner with tiny upload.
         owner = store.add_user(0.0, 1, 10_000.0)
-        store.owned[owner, 0] = True
+        store.grant_chunks(owner, 0)
         delivery = P2PDelivery(user_cap=R)
         outcome = delivery.allocate(store, np.array([R, 0, 0, 0]))
         assert outcome.peer_used == pytest.approx(10_000.0)
