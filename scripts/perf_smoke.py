@@ -1,10 +1,12 @@
-"""Perf-smoke harness: time the step kernel and record a trajectory.
+"""Perf-smoke harness: time the step kernels and record a trajectory.
 
 Times ``N`` steps of two raw kernels (no controller in the loop) --
 ``fig04`` (client-server at the small-scale population) and
-``flash-crowd`` (p2p at the paper's 2500 concurrent users) -- plus one
-``repro sweep`` cell through the registry execution path, and writes the
-numbers to ``BENCH_kernel.json``:
+``flash-crowd`` (p2p at the paper's 2500 concurrent users) -- plus the
+``catalog`` headline (the sharded engine: 200 channels under one
+provisioning loop, >500k aggregate concurrent users) and one ``repro
+sweep`` cell through the registry execution path, and writes the numbers
+to ``BENCH_kernel.json``:
 
 * ``steps_per_sec`` -- timed kernel steps per wall-clock second;
 * ``user_steps_per_sec`` -- steps/sec x mean concurrent population, the
@@ -14,12 +16,19 @@ numbers to ``BENCH_kernel.json``:
 The file keeps two measurement blocks: ``baseline`` (recorded once, from
 the pre-refactor scalar kernel; re-record only with ``--rebaseline``)
 and ``current`` (overwritten on every run), plus the derived
-``speedup`` ratios.  CI runs this non-gating and uploads the JSON, so
-the repo accumulates a perf trajectory.
+``speedup`` ratios.
+
+``--check`` turns the run into a regression gate: after measuring, each
+kernel's fresh ``steps_per_sec`` is compared against the *committed*
+``current`` block, and the process exits nonzero when any kernel dropped
+by more than ``--check-threshold`` (default 30%).  CI runs this gating
+and uploads the JSON; see docs/ci.md for how to refresh the committed
+numbers legitimately.
 
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py            # update current
+    PYTHONPATH=src python scripts/perf_smoke.py --check    # CI gate
     PYTHONPATH=src python scripts/perf_smoke.py --rebaseline
 """
 
@@ -56,6 +65,23 @@ KERNELS = (
     {"label": "flash-crowd", "mode": "p2p", "channels": 1,
      "population": 3650, "hours": 120.0, "warmup": 23220},
 )
+
+#: The ``catalog`` headline: the sharded engine's acceptance-scale run —
+#: 200 channels, a correlated flash crowd, the whole provisioning loop in
+#: the measurement (this is the end-to-end number, not a raw kernel).
+#: At these parameters the run admits ~840k sessions and peaks above
+#: 500k aggregate concurrent users.  Timed over the full horizon, no
+#: warmup (the ramp IS the workload).
+CATALOG = {
+    "num_channels": 200,
+    "chunks_per_channel": 12,
+    "horizon_hours": 1.0,
+    "arrival_rate": 170.0,
+    "num_shards": 8,
+    "dt": 30.0,
+    "interval_minutes": 15.0,
+    "mode": "client-server",
+}
 
 
 def build_kernel(mode: str, target_population: int, seed: int,
@@ -132,6 +158,44 @@ def time_kernel(mode: str, target_population: int, *, warmup_steps: int,
     }
 
 
+def time_catalog(jobs: int, seed: int = 2011) -> dict:
+    """Time the sharded catalog engine end to end (controller included)."""
+    from repro.sim.shard import ShardedSimulator, summarize_catalog
+    from repro.workload.catalog import CATALOG_VARIANTS, catalog_config
+
+    config = catalog_config(
+        seed=seed, name="catalog-flash",
+        **CATALOG, **CATALOG_VARIANTS["flash"],
+    )
+    started = time.perf_counter()
+    with ShardedSimulator(config, jobs=jobs) as engine:
+        result = engine.run()
+    wall = time.perf_counter() - started
+    metrics = summarize_catalog(result)
+    steps = result.steps
+    steps_per_sec = steps / wall if wall > 0 else float("inf")
+    mean_pop = (
+        float(result.populations.mean()) if result.populations.size else 0.0
+    )
+    return {
+        "mode": config.mode,
+        "target_population": None,
+        "num_channels": config.num_channels,
+        "num_shards": config.effective_shards,
+        "jobs": int(jobs),
+        "horizon_hours": CATALOG["horizon_hours"],
+        "warmup_steps": 0,
+        "timed_steps": int(steps),
+        "wall_seconds": wall,
+        "steps_per_sec": steps_per_sec,
+        "mean_population": mean_pop,
+        "max_population": float(metrics["peak_population"]),
+        "user_steps_per_sec": steps_per_sec * mean_pop,
+        "total_arrivals": int(metrics["arrivals"]),
+        "average_quality": float(metrics["average_quality"]),
+    }
+
+
 def time_sweep_cell(seed: int = 2011) -> dict:
     """One registry cell end to end (the `repro sweep` execution path)."""
     from repro.experiments import registry
@@ -151,7 +215,8 @@ def time_sweep_cell(seed: int = 2011) -> dict:
     }
 
 
-def measure(warmup_scale: float, timed_steps: int) -> dict:
+def measure(warmup_scale: float, timed_steps: int, *,
+            catalog_jobs: int = 4, skip_catalog: bool = False) -> dict:
     kernels = {}
     for spec in KERNELS:
         label = spec["label"]
@@ -170,6 +235,17 @@ def measure(warmup_scale: float, timed_steps: int) -> dict:
               f"(mean population {k['mean_population']:.0f}, "
               f"{k['store_slots']} slots after "
               f"{k['total_arrivals']} arrivals)")
+    if not skip_catalog:
+        print(f"timing the sharded catalog ({CATALOG['num_channels']} "
+              f"channels, {CATALOG['num_shards']} shards, "
+              f"{catalog_jobs} worker(s)) ...", flush=True)
+        kernels["catalog"] = time_catalog(catalog_jobs)
+        k = kernels["catalog"]
+        print(f"  {k['steps_per_sec']:8.1f} steps/s  "
+              f"{k['user_steps_per_sec']:12.0f} user-steps/s  "
+              f"(peak population {k['max_population']:.0f} over "
+              f"{k['total_arrivals']} arrivals, "
+              f"quality {k['average_quality']:.3f})")
     print("timing one sweep cell (fig04, client-server, 2h) ...", flush=True)
     cell = time_sweep_cell()
     print(f"  {cell['wall_seconds']:.2f} s")
@@ -182,6 +258,27 @@ def measure(warmup_scale: float, timed_steps: int) -> dict:
     }
 
 
+def check_regressions(committed: dict, measured: dict,
+                      threshold: float) -> list:
+    """Kernel labels whose fresh steps/s fell > threshold below committed.
+
+    Compares only labels present in both measurement blocks, so adding a
+    new kernel never fails the gate retroactively.
+    """
+    failures = []
+    committed_kernels = (committed or {}).get("kernels", {})
+    for label, fresh in measured.get("kernels", {}).items():
+        reference = committed_kernels.get(label)
+        if not reference:
+            continue
+        floor = (1.0 - threshold) * reference["steps_per_sec"]
+        if fresh["steps_per_sec"] < floor:
+            failures.append(
+                (label, fresh["steps_per_sec"], reference["steps_per_sec"])
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--warmup-scale", type=float, default=1.0,
@@ -192,19 +289,44 @@ def main(argv=None) -> int:
                         help=f"output JSON (default {DEFAULT_OUT.name})")
     parser.add_argument("--rebaseline", action="store_true",
                         help="record this run as the committed baseline")
+    parser.add_argument("--catalog-jobs", type=int, default=4,
+                        help="worker processes for the catalog headline "
+                             "(default 4; results are jobs-invariant, "
+                             "only the wall clock moves)")
+    parser.add_argument("--skip-catalog", action="store_true",
+                        help="skip the catalog headline (quick local runs)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) when any kernel's steps/s "
+                             "drops more than --check-threshold below "
+                             "the committed numbers")
+    parser.add_argument("--check-threshold", type=float, default=0.30,
+                        help="allowed fractional steps/s drop for --check "
+                             "(default 0.30)")
     args = parser.parse_args(argv)
 
     payload = {"schema": BENCH_SCHEMA, "baseline": None, "current": None,
                "speedup": {}}
+    committed_current = None
     if args.out.is_file():
         try:
             previous = json.loads(args.out.read_text())
             if previous.get("schema") == BENCH_SCHEMA:
                 payload["baseline"] = previous.get("baseline")
+                committed_current = previous.get("current")
         except ValueError:
             pass
 
-    measured = measure(args.warmup_scale, args.steps)
+    measured = measure(args.warmup_scale, args.steps,
+                       catalog_jobs=args.catalog_jobs,
+                       skip_catalog=args.skip_catalog)
+    if args.skip_catalog and committed_current is not None:
+        # A quick run must not erase the committed gate reference for
+        # the kernel it skipped: carry the old entry forward, marked.
+        skipped = committed_current.get("kernels", {}).get("catalog")
+        if skipped is not None:
+            measured["kernels"]["catalog"] = {
+                **skipped, "carried_forward": True,
+            }
     if args.rebaseline or payload["baseline"] is None:
         payload["baseline"] = measured
     payload["current"] = measured
@@ -217,10 +339,40 @@ def main(argv=None) -> int:
         if label in payload["baseline"].get("kernels", {})
     }
 
-    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # In --check mode the reference file is left untouched and the fresh
+    # measurement goes to a side file: a gate must not replace the very
+    # reference it compares against (repeated local --check runs would
+    # otherwise ratchet regressions through 30% at a time). CI uploads
+    # the side file; committing it as BENCH_kernel.json is the refresh
+    # procedure (docs/ci.md).
+    out_path = (
+        args.out.with_name(args.out.stem + ".check.json")
+        if args.check else args.out
+    )
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     for label, ratio in payload["speedup"].items():
         print(f"speedup vs baseline [{label}]: {ratio:.2f}x")
-    print(f"wrote {args.out}")
+    print(f"wrote {out_path}")
+
+    if args.check:
+        if committed_current is None:
+            print("--check: no committed measurement to compare against; "
+                  "treating this run as the reference", flush=True)
+            return 0
+        failures = check_regressions(
+            committed_current, measured, args.check_threshold
+        )
+        for label, fresh, reference in failures:
+            print(f"PERF REGRESSION [{label}]: {fresh:.1f} steps/s is "
+                  f"{100 * (1 - fresh / reference):.0f}% below the "
+                  f"committed {reference:.1f} steps/s "
+                  f"(allowed: {100 * args.check_threshold:.0f}%)")
+        if failures:
+            print("see docs/ci.md for how to refresh BENCH_kernel.json "
+                  "legitimately")
+            return 1
+        print(f"--check: all kernels within "
+              f"{100 * args.check_threshold:.0f}% of committed steps/s")
     return 0
 
 

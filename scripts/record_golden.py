@@ -17,10 +17,16 @@ scalar kernel, or a later commit that intentionally changes trajectories
 and says so in its changelog):
 
     PYTHONPATH=src python scripts/record_golden.py
+
+CI's golden-guard job re-records into a scratch directory
+(``--out DIR``) and diffs it against ``tests/golden/``, so *any* silent
+trajectory drift fails the build — not just drift the parity tests'
+summary statistics happen to notice.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -110,8 +116,14 @@ def closed_loop_trajectory(mode: str) -> dict:
     }
 
 
-def main() -> int:
-    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=GOLDEN_DIR,
+                        help=f"output directory (default {GOLDEN_DIR}); "
+                             "CI records into a scratch dir and diffs")
+    args = parser.parse_args(argv)
+    out_dir = args.out
+    out_dir.mkdir(parents=True, exist_ok=True)
     fixtures = {
         "kernel_client_server.json": kernel_trajectory("client-server"),
         "kernel_p2p.json": kernel_trajectory("p2p"),
@@ -121,7 +133,7 @@ def main() -> int:
         "closed_loop_p2p.json": closed_loop_trajectory("p2p"),
     }
     for name, payload in fixtures.items():
-        path = GOLDEN_DIR / name
+        path = out_dir / name
         path.write_text(json.dumps(payload, indent=1) + "\n")
         print(
             f"wrote {path} (arrivals={payload['arrivals']}, "

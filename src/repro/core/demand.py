@@ -80,6 +80,7 @@ class DemandEstimator:
         mode: str = "client-server",
         *,
         prior_matrices: Optional[Mapping[int, np.ndarray]] = None,
+        default_prior: Optional[np.ndarray] = None,
         min_arrival_rate: float = 0.0,
         coownership: Optional[CoOwnershipModel] = None,
         peer_discount: float = 0.6,
@@ -103,6 +104,10 @@ class DemandEstimator:
         self.model = model
         self.mode = mode
         self.prior_matrices = dict(prior_matrices or {})
+        #: Prior used for channels absent from ``prior_matrices`` — a
+        #: catalog of hundreds of identical-behaviour channels shares one
+        #: matrix instead of one dict entry per channel.
+        self.default_prior = default_prior
         self.min_arrival_rate = min_arrival_rate
         self.coownership = coownership
         self.peer_discount = peer_discount
@@ -126,7 +131,7 @@ class DemandEstimator:
         matrix = empirical_transition_matrix(
             stats.transition_counts,
             stats.departure_counts,
-            prior=self.prior_matrices.get(stats.channel_id),
+            prior=self.prior_matrices.get(stats.channel_id, self.default_prior),
         )
         alpha = stats.observed_alpha
 

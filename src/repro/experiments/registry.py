@@ -52,6 +52,11 @@ from repro.queueing.capacity import CapacityModel, solve_channel_capacity
 from repro.queueing.transitions import mixture_matrix, sequential_matrix, \
     uniform_jump_matrix
 from repro.vod.channel import default_behaviour_matrix
+# Only CATALOG_VARIANTS may be imported from repro.workload.catalog at
+# module level (it is defined before that module's own experiment-layer
+# imports); everything else from the catalog/shard layer is imported
+# lazily inside _run_catalog_cell to keep the import graph acyclic.
+from repro.workload.catalog import CATALOG_VARIANTS
 from repro.workload.diurnal import DiurnalPattern
 
 __all__ = [
@@ -513,6 +518,47 @@ def _run_micro_vm_lifecycle(
 
 
 # ----------------------------------------------------------------------
+# Catalog scenarios: hundreds of channels through the sharded engine
+# (repro.sim.shard) under one provisioning loop.
+# ----------------------------------------------------------------------
+
+#: Worker parallelism for catalog cells comes from the environment
+#: (``REPRO_CATALOG_JOBS``), *not* from a cell parameter: the engine is
+#: byte-deterministic in the worker count, so keeping it out of the cell
+#: identity means sweep artifacts are directly comparable no matter how
+#: a run was parallelized.
+def _run_catalog_cell(*, seed: int, variant: str = "zipf",
+                      **params) -> Dict[str, float]:
+    # Imported lazily: repro.sim.shard builds on the workload/cloud/core
+    # layers, so a module-level import here would close an import cycle
+    # whichever side loads first.
+    from repro.sim.shard import run_catalog, summarize_catalog
+    from repro.workload.catalog import catalog_config
+
+    overrides = dict(CATALOG_VARIANTS[variant])
+    overrides.update(params)
+    config = catalog_config(seed=seed, name=f"catalog-{variant}", **overrides)
+    return summarize_catalog(run_catalog(config))
+
+
+#: Size/shape knobs shared by the catalog scenarios.  CI-sized defaults;
+#: the million-user acceptance run overrides them, e.g.
+#: ``repro sweep catalog-flash --set num_channels=200
+#: --set arrival_rate=170 --set chunks_per_channel=12
+#: --set num_shards=8 --set horizon_hours=1.0``.
+_CATALOG_DEFAULTS = {
+    "num_channels": 24,
+    "chunks_per_channel": 8,
+    "horizon_hours": 2.0,
+    "arrival_rate": 1.0,
+    "dt": 30.0,
+    "interval_minutes": 15.0,
+    "num_shards": 6,
+    "zipf_exponent": 0.8,
+}
+
+
+# ----------------------------------------------------------------------
 # Geo extension (paper Section VII) — three regions, shifted flash crowds.
 # ----------------------------------------------------------------------
 
@@ -785,6 +831,51 @@ register(ScenarioSpec(
     run=_run_micro_vm_lifecycle,
     expected_seconds=0.5,
     tags=("micro",),
+))
+
+register(ScenarioSpec(
+    name="catalog-zipf",
+    title="Sharded catalog: Zipf popularity under one provisioning loop",
+    paper_ref="Section III (multi-channel catalog), scaled out",
+    grid=_MODE_GRID,
+    defaults={"variant": "zipf", **_CATALOG_DEFAULTS},
+    build=None,
+    run=_run_catalog_cell,
+    expected_seconds=8.0,
+    tags=("extension", "catalog", "sharded"),
+))
+
+register(ScenarioSpec(
+    name="catalog-diurnal",
+    title="Sharded catalog: per-channel diurnal phase offsets",
+    paper_ref="Section VI-A workload, geographically de-phased",
+    grid={"phase_jitter_hours": (0.0, 9.0)},
+    defaults={"variant": "diurnal", "mode": "client-server",
+              **_CATALOG_DEFAULTS},
+    build=None,
+    run=_run_catalog_cell,
+    expected_seconds=8.0,
+    tags=("extension", "catalog", "sharded"),
+))
+
+register(ScenarioSpec(
+    name="catalog-flash",
+    title="Sharded catalog: correlated flash crowd across channels",
+    paper_ref="Section VI-A flash crowds, correlated catalog-wide",
+    grid=_MODE_GRID,
+    # The preset values are spread into the defaults (not copied as
+    # literals) so the flash knobs are --settable and `repro scenarios`
+    # shows them, while CATALOG_VARIANTS stays the single source the CLI
+    # and registry both follow.
+    defaults={
+        "variant": "flash",
+        **CATALOG_VARIANTS["flash"],
+        **_CATALOG_DEFAULTS,
+    },
+    build=None,
+    run=_run_catalog_cell,
+    expected_seconds=10.0,
+    tags=("extension", "catalog", "sharded"),
 ))
 
 register(ScenarioSpec(

@@ -7,10 +7,53 @@ and by the cloud substrate for timed VM lifecycle transitions:
 * :mod:`repro.sim.rng` — deterministic, per-component random streams.
 * :mod:`repro.sim.events` — event records and the event priority queue.
 * :mod:`repro.sim.engine` — the simulation clock and run loop.
+* :mod:`repro.sim.shard` — sharded multi-channel catalog execution:
+  channel shards advanced in lock-step epochs across worker processes
+  under one provisioning loop, byte-deterministic for any worker count.
 """
 
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RandomStreams, make_rng
 
-__all__ = ["Simulator", "Event", "EventQueue", "RandomStreams", "make_rng"]
+#: Lazily re-exported from :mod:`repro.sim.shard`. The shard engine
+#: depends on the cloud/core layers, which themselves import
+#: :mod:`repro.sim.engine` — importing it eagerly here would close an
+#: import cycle, so resolution is deferred to first attribute access.
+_SHARD_EXPORTS = (
+    "CatalogResult",
+    "ChannelShard",
+    "EpochReport",
+    "MergedEpoch",
+    "ShardedSimulator",
+    "ShardEngineError",
+    "merge_epoch_reports",
+    "run_catalog",
+    "summarize_catalog",
+)
+
+
+def __getattr__(name: str):
+    if name in _SHARD_EXPORTS:
+        from repro.sim import shard
+
+        return getattr(shard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "RandomStreams",
+    "make_rng",
+    "CatalogResult",
+    "ChannelShard",
+    "EpochReport",
+    "MergedEpoch",
+    "ShardedSimulator",
+    "ShardEngineError",
+    "merge_epoch_reports",
+    "run_catalog",
+    "summarize_catalog",
+]

@@ -1,0 +1,711 @@
+"""Sharded multi-channel execution: the catalog engine.
+
+A catalog of hundreds of channels is partitioned into
+:class:`ChannelShard`\\ s — each shard owns a fixed subset of channels and
+runs them in its own :class:`~repro.vod.simulator.VoDSimulator`.  Shards
+advance in **lock-step epochs** of one provisioning interval T: the
+parent broadcasts the current per-channel cloud capacities, every shard
+simulates its channels up to the epoch boundary, and returns an
+:class:`EpochReport` (tracker statistics, per-step bandwidth and
+population series, quality samples).  The parent merges the reports,
+runs the shared predictor → provisioner → allocator loop
+(:mod:`repro.core` + :mod:`repro.cloud`) on the merged demand, and
+broadcasts the new capacities for the next epoch.
+
+Determinism contract
+--------------------
+For a fixed :class:`~repro.workload.catalog.CatalogConfig` (which
+includes the shard count), results are **byte-identical regardless of
+the worker count**:
+
+* every channel's trace and behaviour stream is keyed by its global
+  channel id (stable spawn keys), so a channel simulates identically in
+  whichever process its shard lands;
+* channels only interact through the controller, which runs in the
+  parent on merged statistics;
+* reports are merged in **shard-index order** no matter the order in
+  which workers finish, so every float reduction has a fixed order
+  (:func:`merge_epoch_reports` is a pure function of the report *set*).
+
+``tests/test_catalog_engine.py`` pins this down with a jobs-1-vs-4
+byte-identity test and a merge-permutation property test.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.billing import CostReport
+from repro.cloud.broker import Broker
+from repro.cloud.scheduler import CloudFacility
+from repro.core.demand import DemandEstimator
+from repro.core.predictor import ArrivalRatePredictor
+from repro.core.provisioner import ProvisioningController, ProvisioningDecision
+from repro.vod.simulator import VoDSimulator, VoDSystemConfig
+from repro.vod.tracker import IntervalStats, TrackingServer
+from repro.workload.catalog import (
+    CatalogConfig,
+    build_shard_trace,
+    channel_shapes,
+    shard_channel_ids,
+)
+
+__all__ = [
+    "ChannelShard",
+    "EpochReport",
+    "MergedEpoch",
+    "CatalogResult",
+    "ShardedSimulator",
+    "ShardEngineError",
+    "merge_epoch_reports",
+    "run_catalog",
+    "summarize_catalog",
+]
+
+
+# ----------------------------------------------------------------------
+# One shard
+# ----------------------------------------------------------------------
+
+class ChannelShard:
+    """A fixed subset of the catalog's channels in one simulator."""
+
+    def __init__(self, config: CatalogConfig, shard_index: int) -> None:
+        self.config = config
+        self.shard_index = shard_index
+        self.channel_ids = shard_channel_ids(config, shard_index)
+        shapes = channel_shapes(config)
+        trace = build_shard_trace(
+            config, self.channel_ids,
+            shapes=[shapes[c] for c in self.channel_ids],
+        )
+        all_channels = config.channels()
+        channels = [all_channels[c] for c in self.channel_ids]
+        # The tracker is sized for the whole catalog so global channel
+        # ids index it directly; only owned channels ever receive
+        # observations, and reports carry only the owned slice.  History
+        # is disabled: the owned slice ships to the control plane every
+        # epoch, so retaining closed intervals here would only grow
+        # memory linearly with the horizon.
+        tracker = TrackingServer(
+            num_channels=config.num_channels,
+            chunks_per_channel=[config.chunks_per_channel] * config.num_channels,
+            interval_seconds=config.interval_seconds,
+            keep_history=False,
+        )
+        self.sim = VoDSimulator(
+            channels,
+            trace,
+            VoDSystemConfig(
+                mode=config.mode,
+                dt=config.dt,
+                user_rate_cap=config.constants.vm_bandwidth,
+                seed=config.seed,
+            ),
+            tracker=tracker,
+        )
+        self._quality_cursor = 0
+        self._retrievals = 0
+        self._unsmooth = 0
+        self._sojourn_sum = 0.0
+        self._arrivals = 0
+        self._departures = 0
+
+    def set_capacities(self, capacities: Dict[int, np.ndarray]) -> None:
+        """Install the owned channels' slice of a capacity broadcast."""
+        for channel_id in self.channel_ids:
+            capacity = capacities.get(channel_id)
+            if capacity is not None:
+                self.sim.set_cloud_capacity(channel_id, capacity)
+
+    def advance_epoch(self, t_end: float) -> EpochReport:
+        """Run lock-step to ``t_end`` and report this epoch's deltas."""
+        sim = self.sim
+        log_start = len(sim.bandwidth)
+        populations: List[int] = []
+        while sim.now + 1e-9 < t_end:
+            sim.step()
+            populations.append(sim.population())
+        log = sim.bandwidth
+        window = slice(log_start, len(log))
+
+        quality = sim.quality
+        samples = [
+            (s.time, int(s.total_smooth), int(s.total_users))
+            for s in quality.samples[self._quality_cursor:]
+        ]
+        self._quality_cursor = len(quality.samples)
+        retrievals = quality.total_retrievals - self._retrievals
+        unsmooth = quality.unsmooth_retrievals - self._unsmooth
+        sojourn_sum = quality.sojourn_sum - self._sojourn_sum
+        arrivals = sim.arrivals - self._arrivals
+        departures = sim.departures - self._departures
+        self._retrievals = quality.total_retrievals
+        self._unsmooth = quality.unsmooth_retrievals
+        self._sojourn_sum = quality.sojourn_sum
+        self._arrivals = sim.arrivals
+        self._departures = sim.departures
+
+        stats_all = sim.tracker.close_interval()
+        upload_sum, upload_count = sim.peer_upload_totals()
+        return EpochReport(
+            shard_index=self.shard_index,
+            t_end=t_end,
+            stats=[stats_all[c] for c in self.channel_ids],
+            step_times=log.time[window].copy(),
+            cloud_used=log.cloud_used[window].copy(),
+            peer_used=log.peer_used[window].copy(),
+            provisioned=log.provisioned[window].copy(),
+            shortfall=log.shortfall[window].copy(),
+            populations=np.asarray(populations, dtype=np.int64),
+            quality_samples=samples,
+            arrivals=arrivals,
+            departures=departures,
+            retrievals=retrievals,
+            unsmooth=unsmooth,
+            sojourn_sum=sojourn_sum,
+            upload_sum=upload_sum,
+            upload_count=upload_count,
+            peak_step_events=sim.peak_step_events,
+            channel_populations=dict(sim.channel_populations()),
+        )
+
+
+@dataclass
+class _EpochData:
+    """The accumulator schema one epoch produces.
+
+    Shared by :class:`EpochReport` (one shard's deltas) and
+    :class:`MergedEpoch` (the catalog-wide merge) so a statistic added
+    to one cannot silently go missing from the other — only
+    :func:`merge_epoch_reports` then needs the matching accumulation.
+    Everything is picklable (reports cross the worker boundary).
+    """
+
+    t_end: float
+    stats: List[IntervalStats]
+    step_times: np.ndarray
+    cloud_used: np.ndarray
+    peer_used: np.ndarray
+    provisioned: np.ndarray
+    shortfall: np.ndarray
+    populations: np.ndarray
+    quality_samples: List[Tuple[float, int, int]]
+    arrivals: int
+    departures: int
+    retrievals: int
+    unsmooth: int
+    sojourn_sum: float
+    upload_sum: float
+    upload_count: int
+    peak_step_events: int
+    channel_populations: Dict[int, int]
+
+
+@dataclass
+class EpochReport(_EpochData):
+    """One shard's deltas over one lock-step epoch (owned channels only)."""
+
+    shard_index: int = -1
+
+
+@dataclass
+class MergedEpoch(_EpochData):
+    """The whole catalog's view of one epoch, merged in shard order
+    (``stats`` covers all channels, channel-id order)."""
+
+
+def merge_epoch_reports(reports: Sequence[EpochReport]) -> MergedEpoch:
+    """Merge one epoch's shard reports, independent of arrival order.
+
+    Reports are first sorted by shard index, so every float reduction
+    (bandwidth sums, upload accumulators) happens in a fixed order even
+    when workers complete out of order — the property the engine's
+    byte-determinism rests on.
+    """
+    if not reports:
+        raise ValueError("need at least one shard report")
+    ordered = sorted(reports, key=lambda r: r.shard_index)
+    indices = [r.shard_index for r in ordered]
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"duplicate shard reports: {indices}")
+    first = ordered[0]
+    steps = first.step_times.size
+    for report in ordered[1:]:
+        if report.step_times.size != steps or not np.array_equal(
+            report.step_times, first.step_times
+        ):
+            raise ValueError(
+                f"shard {report.shard_index} fell out of lock-step with "
+                f"shard {first.shard_index}"
+            )
+        if len(report.quality_samples) != len(first.quality_samples):
+            raise ValueError(
+                f"shard {report.shard_index} quality sampling diverged"
+            )
+
+    cloud = np.zeros(steps)
+    peer = np.zeros(steps)
+    provisioned = np.zeros(steps)
+    shortfall = np.zeros(steps)
+    populations = np.zeros(steps, dtype=np.int64)
+    quality = [
+        [t, 0, 0] for (t, _, _) in first.quality_samples
+    ]
+    stats: List[IntervalStats] = []
+    channel_populations: Dict[int, int] = {}
+    arrivals = departures = retrievals = unsmooth = 0
+    sojourn_sum = upload_sum = 0.0
+    upload_count = 0
+    peak_step_events = 0
+    for report in ordered:
+        cloud += report.cloud_used
+        peer += report.peer_used
+        provisioned += report.provisioned
+        shortfall += report.shortfall
+        populations += report.populations
+        for i, (t, smooth, users) in enumerate(report.quality_samples):
+            if t != quality[i][0]:
+                raise ValueError(
+                    f"shard {report.shard_index} sampled quality at {t}, "
+                    f"expected {quality[i][0]}"
+                )
+            quality[i][1] += smooth
+            quality[i][2] += users
+        stats.extend(report.stats)
+        channel_populations.update(report.channel_populations)
+        arrivals += report.arrivals
+        departures += report.departures
+        retrievals += report.retrievals
+        unsmooth += report.unsmooth
+        sojourn_sum += report.sojourn_sum
+        upload_sum += report.upload_sum
+        upload_count += report.upload_count
+        peak_step_events = max(peak_step_events, report.peak_step_events)
+    stats.sort(key=lambda s: s.channel_id)
+    return MergedEpoch(
+        t_end=first.t_end,
+        stats=stats,
+        step_times=first.step_times.copy(),
+        cloud_used=cloud,
+        peer_used=peer,
+        provisioned=provisioned,
+        shortfall=shortfall,
+        populations=populations,
+        quality_samples=[(t, s, u) for t, s, u in quality],
+        arrivals=arrivals,
+        departures=departures,
+        retrievals=retrievals,
+        unsmooth=unsmooth,
+        sojourn_sum=sojourn_sum,
+        upload_sum=upload_sum,
+        upload_count=upload_count,
+        peak_step_events=peak_step_events,
+        channel_populations=dict(sorted(channel_populations.items())),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker processes
+# ----------------------------------------------------------------------
+
+def _worker_main(conn, config: CatalogConfig,
+                 shard_indices: List[int]) -> None:
+    """Long-lived worker: build the owned shards once, serve epochs."""
+    try:
+        shards = [ChannelShard(config, i) for i in shard_indices]
+        conn.send(("ready", shard_indices))
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, t_end, capacities = message
+            reports = []
+            for shard in shards:
+                shard.set_capacities(capacities)
+                reports.append(shard.advance_epoch(t_end))
+            conn.send(("ok", reports))
+    except EOFError:
+        pass
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, EOFError, BrokenPipeError):
+            pass
+    finally:
+        conn.close()
+
+
+class ShardEngineError(RuntimeError):
+    """A shard worker died or reported an exception."""
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+@dataclass
+class CatalogResult:
+    """Everything measured over one sharded catalog run."""
+
+    config: CatalogConfig
+    times: np.ndarray  # per step
+    cloud_used: np.ndarray
+    peer_used: np.ndarray
+    provisioned: np.ndarray
+    shortfall: np.ndarray
+    populations: np.ndarray
+    quality_times: np.ndarray
+    quality: np.ndarray
+    epoch_times: List[float]
+    arrivals: int
+    departures: int
+    final_population: int
+    peak_population: int
+    total_retrievals: int
+    unsmooth_retrievals: int
+    mean_sojourn: float
+    decisions: List[ProvisioningDecision] = field(default_factory=list)
+    vm_cost_series: List[float] = field(default_factory=list)
+    cost_report: Optional[CostReport] = None
+    channel_populations: Dict[int, int] = field(default_factory=dict)
+    steps: int = 0
+    peak_step_events: int = 0
+
+    @property
+    def average_quality(self) -> float:
+        if self.quality.size == 0:
+            return 1.0
+        return float(np.mean(self.quality))
+
+    @property
+    def smooth_retrieval_fraction(self) -> float:
+        if self.total_retrievals == 0:
+            return 1.0
+        return 1.0 - self.unsmooth_retrievals / self.total_retrievals
+
+
+def summarize_catalog(result: CatalogResult) -> Dict[str, float]:
+    """Flatten a catalog run into the sweep's JSON metrics schema."""
+    reserved = result.provisioned * 8.0 / 1e6
+    used = result.cloud_used * 8.0 / 1e6
+    peer = result.peer_used * 8.0 / 1e6
+    coverage = (
+        float(np.mean(result.provisioned >= result.cloud_used))
+        if result.provisioned.size else 0.0
+    )
+    # Same basis as the closed-loop schema (`mean_vm_cost_per_hour`):
+    # the billing meter's hourly rate, which covers the bootstrap
+    # deployment too — `vm_cost_series` only has the periodic decisions
+    # and is empty for single-epoch runs.
+    vm_cost = (
+        float(result.cost_report.hourly_vm_cost)
+        if result.cost_report is not None else 0.0
+    )
+    return {
+        "arrivals": int(result.arrivals),
+        "departures": int(result.departures),
+        "final_population": int(result.final_population),
+        "peak_population": int(result.peak_population),
+        "average_quality": float(result.average_quality),
+        "smooth_retrieval_fraction": float(result.smooth_retrieval_fraction),
+        "mean_sojourn": float(result.mean_sojourn),
+        "mean_reserved_mbps": float(reserved.mean()) if reserved.size else 0.0,
+        "mean_used_mbps": float(used.mean()) if used.size else 0.0,
+        "mean_peer_mbps": float(peer.mean()) if peer.size else 0.0,
+        "mean_shortfall_mbps": (
+            float(result.shortfall.mean()) * 8.0 / 1e6
+            if result.shortfall.size else 0.0
+        ),
+        "coverage_fraction": coverage,
+        "vm_cost_per_hour": vm_cost,
+        "storage_cost_per_day": (
+            float(result.cost_report.hourly_storage_cost * 24.0)
+            if result.cost_report is not None else 0.0
+        ),
+        "epochs": int(len(result.epoch_times)),
+        "steps": int(result.steps),
+        "peak_step_events": int(result.peak_step_events),
+        "num_channels": int(result.config.num_channels),
+        "num_shards": int(result.config.effective_shards),
+    }
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+class ShardedSimulator:
+    """Lock-step epochs over channel shards + one provisioning loop.
+
+    Parameters
+    ----------
+    config:
+        The catalog (including its fixed shard count).
+    jobs:
+        Worker processes; ``1`` runs every shard in-process.  Results are
+        byte-identical for any value.
+    predictor:
+        Optional arrival-rate predictor override for the controller.
+    """
+
+    def __init__(
+        self,
+        config: CatalogConfig,
+        *,
+        jobs: int = 1,
+        predictor: Optional[ArrivalRatePredictor] = None,
+    ) -> None:
+        self.config = config
+        self.jobs = max(1, min(int(jobs), config.effective_shards))
+        self._now = 0.0
+
+        behaviour = config.behaviour_matrix()
+        self.tracker = TrackingServer(
+            num_channels=config.num_channels,
+            chunks_per_channel=[config.chunks_per_channel] * config.num_channels,
+            interval_seconds=config.interval_seconds,
+        )
+        self.facility = CloudFacility(
+            config.vm_clusters(),
+            config.nfs_clusters(),
+            clock=lambda: self._now,
+        )
+        self.broker = Broker(self.facility)
+        estimator = DemandEstimator(
+            config.capacity_model(),
+            mode=config.mode,
+            default_prior=behaviour,
+        )
+        self.controller = ProvisioningController(
+            estimator,
+            self.tracker,
+            self.broker,
+            config.sla_terms(),
+            predictor=predictor,
+            min_capacity_per_chunk=config.constants.streaming_rate,
+        )
+
+        self._shards: Optional[List[ChannelShard]] = None  # jobs == 1
+        self._workers: List[mp.Process] = []
+        self._conns: List = []
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardedSimulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear down worker processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in self._workers:
+            worker.join(timeout=10.0)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+                worker.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._workers = []
+
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        shards = self.config.effective_shards
+        if self.jobs <= 1:
+            self._shards = [ChannelShard(self.config, i) for i in range(shards)]
+            return
+        assignments = [
+            [i for i in range(shards) if i % self.jobs == w]
+            for w in range(self.jobs)
+        ]
+        for owned in assignments:
+            parent_conn, child_conn = mp.Pipe()
+            worker = mp.Process(
+                target=_worker_main,
+                args=(child_conn, self.config, owned),
+                daemon=False,
+            )
+            worker.start()
+            child_conn.close()
+            self._workers.append(worker)
+            self._conns.append(parent_conn)
+        for conn in self._conns:
+            self._expect(conn, "ready")
+
+    def _expect(self, conn, kind: str):
+        try:
+            message = conn.recv()
+        except EOFError:
+            raise ShardEngineError("shard worker died unexpectedly") from None
+        if message[0] == "error":
+            raise ShardEngineError(f"shard worker failed:\n{message[1]}")
+        if message[0] != kind:
+            raise ShardEngineError(f"unexpected worker message {message[0]!r}")
+        return message[1]
+
+    def _advance_all(
+        self, t_end: float, capacities: Dict[int, np.ndarray]
+    ) -> List[EpochReport]:
+        self._start()
+        if self._shards is not None:
+            reports = []
+            for shard in self._shards:
+                shard.set_capacities(capacities)
+                reports.append(shard.advance_epoch(t_end))
+            return reports
+        for conn in self._conns:
+            conn.send(("epoch", t_end, capacities))
+        reports = []
+        for conn in self._conns:
+            reports.extend(self._expect(conn, "ok"))
+        return reports
+
+    @staticmethod
+    def _sorted_capacities(
+        decision: ProvisioningDecision,
+    ) -> Dict[int, np.ndarray]:
+        return {
+            channel_id: decision.per_channel_capacity[channel_id]
+            for channel_id in sorted(decision.per_channel_capacity)
+        }
+
+    # ------------------------------------------------------------------
+    def run(self) -> CatalogResult:
+        """Execute the whole horizon and return the merged result."""
+        config = self.config
+        rates = config.channel_rates()
+        expected = {c: float(r) for c, r in enumerate(rates)}
+        peer_upload = (
+            config.upload_distribution().mean()
+            if config.mode == "p2p" else None
+        )
+        decision = self.controller.bootstrap(
+            0.0, expected, peer_upload=peer_upload
+        )
+        capacities = self._sorted_capacities(decision)
+
+        interval = config.interval_seconds
+        horizon = config.horizon_seconds
+        num_epochs = int(math.ceil(horizon / interval))
+        epoch_times: List[float] = []
+        vm_cost_series: List[float] = []
+        step_chunks: List[MergedEpoch] = []
+        totals = {
+            "arrivals": 0, "departures": 0, "retrievals": 0, "unsmooth": 0,
+        }
+        sojourn_sum = 0.0
+        peak_step_events = 0
+        final_channel_populations: Dict[int, int] = {}
+
+        for k in range(1, num_epochs + 1):
+            t_end = min(k * interval, horizon)
+            merged = merge_epoch_reports(self._advance_all(t_end, capacities))
+            self._now = t_end
+            epoch_times.append(t_end)
+            step_chunks.append(merged)
+            for stats in merged.stats:
+                self.tracker.absorb(stats)
+            totals["arrivals"] += merged.arrivals
+            totals["departures"] += merged.departures
+            totals["retrievals"] += merged.retrievals
+            totals["unsmooth"] += merged.unsmooth
+            sojourn_sum += merged.sojourn_sum
+            peak_step_events = max(peak_step_events, merged.peak_step_events)
+            final_channel_populations = merged.channel_populations
+
+            if t_end + 1e-9 >= horizon:
+                break
+            live_upload = (
+                merged.upload_sum / merged.upload_count
+                if config.mode == "p2p" and merged.upload_count
+                else peer_upload
+            )
+            decision = self.controller.run_interval(
+                t_end,
+                peer_upload=live_upload if config.mode == "p2p" else None,
+            )
+            vm_cost_series.append(decision.hourly_vm_cost)
+            capacities = self._sorted_capacities(decision)
+
+        times = np.concatenate([m.step_times for m in step_chunks]) \
+            if step_chunks else np.empty(0)
+        populations = np.concatenate([m.populations for m in step_chunks]) \
+            if step_chunks else np.empty(0, dtype=np.int64)
+        quality_samples = [s for m in step_chunks for s in m.quality_samples]
+        quality_times = np.asarray([t for t, _, _ in quality_samples])
+        quality = np.asarray([
+            1.0 if users == 0 else smooth / users
+            for _, smooth, users in quality_samples
+        ])
+        return CatalogResult(
+            config=config,
+            times=times,
+            cloud_used=np.concatenate([m.cloud_used for m in step_chunks])
+            if step_chunks else np.empty(0),
+            peer_used=np.concatenate([m.peer_used for m in step_chunks])
+            if step_chunks else np.empty(0),
+            provisioned=np.concatenate([m.provisioned for m in step_chunks])
+            if step_chunks else np.empty(0),
+            shortfall=np.concatenate([m.shortfall for m in step_chunks])
+            if step_chunks else np.empty(0),
+            populations=populations,
+            quality_times=quality_times,
+            quality=quality,
+            epoch_times=epoch_times,
+            arrivals=totals["arrivals"],
+            departures=totals["departures"],
+            final_population=int(populations[-1]) if populations.size else 0,
+            peak_population=int(populations.max()) if populations.size else 0,
+            total_retrievals=totals["retrievals"],
+            unsmooth_retrievals=totals["unsmooth"],
+            mean_sojourn=(
+                sojourn_sum / totals["retrievals"]
+                if totals["retrievals"] else 0.0
+            ),
+            decisions=list(self.controller.decisions),
+            vm_cost_series=vm_cost_series,
+            cost_report=self.facility.billing.report(self._now),
+            channel_populations=final_channel_populations,
+            steps=int(times.size),
+            peak_step_events=peak_step_events,
+        )
+
+
+def run_catalog(
+    config: CatalogConfig,
+    *,
+    jobs: Optional[int] = None,
+    predictor: Optional[ArrivalRatePredictor] = None,
+) -> CatalogResult:
+    """Run one catalog end to end (worker count from ``jobs`` or the
+    ``REPRO_CATALOG_JOBS`` environment variable, default 1).
+
+    The environment knob exists so registry/sweep runs can be
+    parallelized without the worker count entering the cell identity:
+    artifacts stay byte-for-byte comparable across ``jobs`` settings.
+    """
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_CATALOG_JOBS", "1") or "1")
+    with ShardedSimulator(config, jobs=jobs, predictor=predictor) as engine:
+        return engine.run()

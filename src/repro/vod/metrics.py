@@ -38,6 +38,10 @@ class QualitySample:
     quality: float  # fraction of smooth users across all channels, in [0, 1]
     per_channel: Dict[int, float]
     per_channel_users: Dict[int, int]
+    #: Raw smooth-user count behind ``quality``; kept as an exact integer
+    #: so partial samples from different shards merge without float
+    #: reconstruction (quality * users would round).
+    total_smooth: int = 0
 
     @property
     def total_users(self) -> int:
@@ -138,6 +142,7 @@ class QualityTracker:
             quality=quality,
             per_channel=per_channel,
             per_channel_users=dict(per_channel_users),
+            total_smooth=int(total_smooth),
         )
         self.samples.append(sample)
         return sample
@@ -157,6 +162,11 @@ class QualityTracker:
         if self.total_retrievals == 0:
             return 1.0
         return 1.0 - self.unsmooth_retrievals / self.total_retrievals
+
+    @property
+    def sojourn_sum(self) -> float:
+        """Raw sojourn accumulator (the sharded engine merges these)."""
+        return self._sojourn_sum
 
     @property
     def mean_sojourn(self) -> float:

@@ -256,6 +256,16 @@ class VoDSimulator:
         self.cloud_capacity: Dict[int, np.ndarray] = {
             ch.channel_id: np.zeros(ch.num_chunks) for ch in self.channels
         }
+        # Cached per-channel capacity sums: installing one channel's
+        # capacity must not re-reduce every other channel's array (the
+        # catalog engine broadcasts capacities channel by channel every
+        # epoch, which made this path O(channels^2) array reductions).
+        # The total is still the sum of per-channel sums in channel
+        # order, so the float value is bit-identical to the old full
+        # recomputation.
+        self._capacity_sums: Dict[int, float] = {
+            ch.channel_id: 0.0 for ch in self.channels
+        }
         self._provisioned_total = 0.0
         self.tracker = tracker or TrackingServer(
             num_channels=len(self.channels),
@@ -302,9 +312,8 @@ class VoDSimulator:
         if np.any(cap < 0):
             raise ValueError("capacities must be nonnegative")
         self.cloud_capacity[channel_id] = cap
-        self._provisioned_total = float(
-            sum(c.sum() for c in self.cloud_capacity.values())
-        )
+        self._capacity_sums[channel_id] = cap.sum()
+        self._provisioned_total = float(sum(self._capacity_sums.values()))
 
     def total_provisioned(self) -> float:
         return self._provisioned_total
@@ -315,14 +324,23 @@ class VoDSimulator:
     def channel_populations(self) -> Dict[int, int]:
         return {cid: store.num_active for cid, store in self.stores.items()}
 
-    def mean_peer_upload(self) -> float:
-        """Mean upload capacity over all active peers (bytes/second)."""
+    def peer_upload_totals(self) -> Tuple[float, int]:
+        """(sum, count) of active peers' upload capacities.
+
+        Split out from :meth:`mean_peer_upload` so the sharded engine can
+        merge the raw accumulators across shards before dividing.
+        """
         total = 0.0
         count = 0
         for store in self.stores.values():
             idx = store.active_indices()
             total += float(store.upload[idx].sum())
             count += int(idx.size)
+        return total, count
+
+    def mean_peer_upload(self) -> float:
+        """Mean upload capacity over all active peers (bytes/second)."""
+        total, count = self.peer_upload_totals()
         return total / count if count else 0.0
 
     def _channel(self, channel_id: int) -> ChannelSpec:

@@ -84,7 +84,12 @@ class TrackingServer:
         interval_seconds: float = 3600.0,
         *,
         entry_ip: str = "10.0.0.1",
+        keep_history: bool = True,
     ) -> None:
+        """``keep_history=False`` drops closed intervals instead of
+        retaining them — shard-side trackers ship their statistics to
+        the control plane every epoch and would otherwise accumulate
+        one dead stats set per channel per epoch for the whole run."""
         if num_channels <= 0:
             raise ValueError("need at least one channel")
         if len(chunks_per_channel) != num_channels:
@@ -95,6 +100,7 @@ class TrackingServer:
         self.chunks_per_channel = list(chunks_per_channel)
         self.interval_seconds = interval_seconds
         self.entry_ip = entry_ip
+        self.keep_history = keep_history
         self._ticket_counter = 0
         self._stats = [self._fresh_stats(c) for c in range(num_channels)]
         self.history: List[List[IntervalStats]] = [[] for _ in range(num_channels)]
@@ -167,6 +173,28 @@ class TrackingServer:
             self._stats[channel_id].departure_counts, from_chunks, 1.0
         )
 
+    def absorb(self, stats: IntervalStats) -> None:
+        """Fold another tracker's interval deltas into the open interval.
+
+        The sharded engine runs one tracker per shard and merges their
+        closed intervals into a control-plane tracker in fixed shard
+        order, so the controller sees the whole catalog's statistics
+        (see :mod:`repro.sim.shard`).  Shapes must match the channel.
+        """
+        mine = self._stats[stats.channel_id]
+        if mine.transition_counts.shape != stats.transition_counts.shape:
+            raise ValueError(
+                f"channel {stats.channel_id}: transition matrix shape "
+                f"{stats.transition_counts.shape} != "
+                f"{mine.transition_counts.shape}"
+            )
+        mine.arrivals += stats.arrivals
+        mine.transition_counts += stats.transition_counts
+        mine.departure_counts += stats.departure_counts
+        mine.start_chunk_counts += stats.start_chunk_counts
+        mine.upload_capacity_sum += stats.upload_capacity_sum
+        mine.upload_capacity_samples += stats.upload_capacity_samples
+
     # ------------------------------------------------------------------
     # P2P protocol surface
     # ------------------------------------------------------------------
@@ -189,8 +217,9 @@ class TrackingServer:
     def close_interval(self) -> List[IntervalStats]:
         """Return this interval's statistics and start a fresh interval."""
         closed = self._stats
-        for stats in closed:
-            self.history[stats.channel_id].append(stats)
+        if self.keep_history:
+            for stats in closed:
+                self.history[stats.channel_id].append(stats)
         self._stats = [self._fresh_stats(c) for c in range(self.num_channels)]
         return closed
 

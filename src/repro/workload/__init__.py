@@ -31,6 +31,29 @@ from repro.workload.tools import (
 from repro.workload.trace import Session, Trace, TraceConfig, generate_trace
 from repro.workload.zipf import zipf_weights, assign_channel_rates
 
+#: Lazily re-exported from :mod:`repro.workload.catalog`, which reuses
+#: the paper constants/cluster presets from :mod:`repro.experiments.
+#: config` — a layer that itself imports this package.  Deferring the
+#: import to first attribute access keeps the package import acyclic.
+_CATALOG_EXPORTS = (
+    "CatalogConfig",
+    "ChannelShape",
+    "build_shard_trace",
+    "catalog_config",
+    "channel_sessions",
+    "channel_shapes",
+    "shard_channel_ids",
+)
+
+
+def __getattr__(name: str):
+    if name in _CATALOG_EXPORTS:
+        from repro.workload import catalog
+
+        return getattr(catalog, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "poisson_arrival_times",
     "nonhomogeneous_poisson_times",
@@ -48,4 +71,5 @@ __all__ = [
     "shift_trace",
     "slice_trace",
     "thin_trace",
+    *_CATALOG_EXPORTS,
 ]

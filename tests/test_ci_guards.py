@@ -1,0 +1,116 @@
+"""Tests for the CI gate helpers: the perf-regression check, the
+re-recordable golden fixtures, and the tracker's shard-merge absorb."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.vod.tracker import TrackingServer
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_script(name):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO / "scripts" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPerfCheck:
+    def _blocks(self, committed, measured):
+        wrap = lambda values: {
+            "kernels": {
+                label: {"steps_per_sec": value}
+                for label, value in values.items()
+            }
+        }
+        return wrap(committed), wrap(measured)
+
+    def test_flags_regressions_beyond_threshold(self):
+        perf_smoke = _load_script("perf_smoke")
+        committed, measured = self._blocks(
+            {"fig04": 1000.0, "catalog": 10.0},
+            {"fig04": 650.0, "catalog": 9.5},
+        )
+        failures = perf_smoke.check_regressions(committed, measured, 0.30)
+        assert [f[0] for f in failures] == ["fig04"]
+
+    def test_within_threshold_passes(self):
+        perf_smoke = _load_script("perf_smoke")
+        committed, measured = self._blocks(
+            {"fig04": 1000.0}, {"fig04": 750.0}
+        )
+        assert perf_smoke.check_regressions(committed, measured, 0.30) == []
+
+    def test_new_kernels_do_not_fail_retroactively(self):
+        perf_smoke = _load_script("perf_smoke")
+        committed, measured = self._blocks({}, {"catalog": 5.0})
+        assert perf_smoke.check_regressions(committed, measured, 0.30) == []
+        assert perf_smoke.check_regressions(None, measured, 0.30) == []
+
+    def test_skip_catalog_preserves_committed_reference(self, tmp_path):
+        """A quick --skip-catalog run must carry the committed catalog
+        entry forward instead of silently erasing the gate reference."""
+        perf_smoke = _load_script("perf_smoke")
+        out = tmp_path / "bench.json"
+        reference = {"steps_per_sec": 12.0, "jobs": 4}
+        out.write_text(json.dumps({
+            "schema": perf_smoke.BENCH_SCHEMA,
+            "baseline": {"kernels": {}},
+            "current": {"kernels": {"catalog": dict(reference)}},
+            "speedup": {},
+        }))
+        assert perf_smoke.main([
+            "--steps", "2", "--warmup-scale", "0.001",
+            "--skip-catalog", "--out", str(out),
+        ]) == 0
+        kernels = json.loads(out.read_text())["current"]["kernels"]
+        assert kernels["catalog"]["steps_per_sec"] == 12.0
+        assert kernels["catalog"]["carried_forward"] is True
+        assert "fig04" in kernels  # the quick run still measured the rest
+
+
+class TestGoldenRecorder:
+    def test_records_into_custom_dir_matching_committed(self, tmp_path):
+        """`record_golden --out DIR` is what CI diffs against the
+        committed fixtures — the smallest one must round-trip equal."""
+        record_golden = _load_script("record_golden")
+        payload = record_golden.kernel_trajectory("client-server")
+        committed = json.loads(
+            (REPO / "tests" / "golden" / "kernel_client_server.json")
+            .read_text()
+        )
+        assert payload["arrivals"] == committed["arrivals"]
+        assert payload["cloud_used"] == committed["cloud_used"]
+
+
+class TestTrackerAbsorb:
+    def test_absorb_sums_counts(self):
+        source = TrackingServer(2, [3, 3], interval_seconds=600.0)
+        source.record_arrival(1, 0, 100.0)
+        source.record_arrival(1, 2, 50.0)
+        source.record_transition(1, 0, 1)
+        source.record_departure(1, 2)
+
+        target = TrackingServer(2, [3, 3], interval_seconds=600.0)
+        target.record_arrival(1, 0, 10.0)
+        for stats in source.close_interval():
+            target.absorb(stats)
+        merged = target.close_interval()[1]
+        assert merged.arrivals == 3
+        assert merged.upload_capacity_sum == pytest.approx(160.0)
+        assert merged.transition_counts[0, 1] == 1.0
+        assert merged.departure_counts[2] == 1.0
+        assert merged.start_chunk_counts.tolist() == [2.0, 0.0, 1.0]
+
+    def test_absorb_rejects_shape_mismatch(self):
+        source = TrackingServer(1, [4], interval_seconds=600.0)
+        target = TrackingServer(1, [3], interval_seconds=600.0)
+        with pytest.raises(ValueError, match="shape"):
+            target.absorb(source.close_interval()[0])

@@ -156,3 +156,27 @@ class TestSweep:
     def test_malformed_set_fails(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["sweep", "fig05", "--out", str(tmp_path), "--set", "oops"])
+
+
+class TestCatalog:
+    ARGS = ["catalog", "--channels", "6", "--chunks", "4", "--hours", "0.5",
+            "--rate", "0.4", "--shards", "3", "--dt", "60"]
+
+    def test_runs_and_prints_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "sharded catalog run" in out
+        assert "peak population" in out
+        assert "steps/s" in out
+
+    def test_writes_metrics_json(self, tmp_path, capsys):
+        out_path = tmp_path / "catalog.json"
+        assert main(self.ARGS + ["--jobs", "2", "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["metrics"]["arrivals"] > 0
+        assert payload["metrics"]["num_shards"] == 3
+        assert payload["jobs"] == 2
+
+    def test_variant_presets_accepted(self, capsys):
+        assert main(self.ARGS + ["--variant", "diurnal"]) == 0
+        assert "catalog-diurnal" in capsys.readouterr().out
