@@ -4,7 +4,9 @@ Times ``N`` steps of two raw kernels (no controller in the loop) --
 ``fig04`` (client-server at the small-scale population) and
 ``flash-crowd`` (p2p at the paper's 2500 concurrent users) -- plus the
 ``catalog`` headline (the sharded engine: 200 channels under one
-provisioning loop, >500k aggregate concurrent users) and one ``repro
+provisioning loop, >500k aggregate concurrent users), the
+``catalog-geo`` headline (the same catalog across 3 regions = 600
+engine slots under the multi-region geo control plane) and one ``repro
 sweep`` cell through the registry execution path, and writes the numbers
 to ``BENCH_kernel.json``:
 
@@ -83,6 +85,17 @@ CATALOG = {
     "mode": "client-server",
 }
 
+#: The ``catalog-geo`` headline: the same acceptance-scale catalog under
+#: the multi-region control plane — 3 regions x 200 channels = 600
+#: engine slots, every epoch provisioned by the greedy geo allocator
+#: (latency-discounted utility, per-GB egress pricing).  This is the
+#: geo acceptance configuration: jobs-1-vs-4 sweep artifacts at these
+#: parameters are byte-identical.
+GEO_CATALOG = {
+    **CATALOG,
+    "topology": "us-eu-ap",
+}
+
 
 def build_kernel(mode: str, target_population: int, seed: int,
                  *, channels=None, hours: float = 12.0):
@@ -158,17 +171,28 @@ def time_kernel(mode: str, target_population: int, *, warmup_steps: int,
     }
 
 
-def time_catalog(jobs: int, seed: int = 2011) -> dict:
-    """Time the sharded catalog engine end to end (controller included)."""
-    from repro.sim.shard import ShardedSimulator, summarize_catalog
-    from repro.workload.catalog import CATALOG_VARIANTS, catalog_config
+def time_catalog(jobs: int, seed: int = 2011, *, geo: bool = False) -> dict:
+    """Time the sharded catalog engine end to end (controller included).
 
-    config = catalog_config(
-        seed=seed, name="catalog-flash",
-        **CATALOG, **CATALOG_VARIANTS["flash"],
-    )
+    ``geo=True`` times the multi-region engine instead: same shard
+    mechanics, the geo control plane in the loop.
+    """
+    from repro.sim.shard import make_engine, summarize_catalog
+    from repro.workload.catalog import CATALOG_VARIANTS, catalog_config, \
+        geo_catalog_config
+
+    if geo:
+        config = geo_catalog_config(
+            seed=seed, name="catalog-geo-flash",
+            **GEO_CATALOG, **CATALOG_VARIANTS["flash"],
+        )
+    else:
+        config = catalog_config(
+            seed=seed, name="catalog-flash",
+            **CATALOG, **CATALOG_VARIANTS["flash"],
+        )
     started = time.perf_counter()
-    with ShardedSimulator(config, jobs=jobs) as engine:
+    with make_engine(config, jobs=jobs) as engine:
         result = engine.run()
     wall = time.perf_counter() - started
     metrics = summarize_catalog(result)
@@ -177,7 +201,7 @@ def time_catalog(jobs: int, seed: int = 2011) -> dict:
     mean_pop = (
         float(result.populations.mean()) if result.populations.size else 0.0
     )
-    return {
+    record = {
         "mode": config.mode,
         "target_population": None,
         "num_channels": config.num_channels,
@@ -194,6 +218,18 @@ def time_catalog(jobs: int, seed: int = 2011) -> dict:
         "total_arrivals": int(metrics["arrivals"]),
         "average_quality": float(metrics["average_quality"]),
     }
+    if geo:
+        record.update({
+            "topology": GEO_CATALOG["topology"],
+            "num_regions": int(metrics["num_regions"]),
+            "channel_slots": int(config.channel_slots),
+            "mean_remote_fraction": float(metrics["mean_remote_fraction"]),
+            "egress_cost_per_hour": float(metrics["egress_cost_per_hour"]),
+            "latency_adjusted_quality": float(
+                metrics["latency_adjusted_quality"]
+            ),
+        })
+    return record
 
 
 def time_sweep_cell(seed: int = 2011) -> dict:
@@ -246,6 +282,17 @@ def measure(warmup_scale: float, timed_steps: int, *,
               f"(peak population {k['max_population']:.0f} over "
               f"{k['total_arrivals']} arrivals, "
               f"quality {k['average_quality']:.3f})")
+        print(f"timing the geo catalog ({GEO_CATALOG['topology']} x "
+              f"{GEO_CATALOG['num_channels']} channels, "
+              f"{GEO_CATALOG['num_shards']} shards, "
+              f"{catalog_jobs} worker(s)) ...", flush=True)
+        kernels["catalog-geo"] = time_catalog(catalog_jobs, geo=True)
+        k = kernels["catalog-geo"]
+        print(f"  {k['steps_per_sec']:8.1f} steps/s  "
+              f"{k['user_steps_per_sec']:12.0f} user-steps/s  "
+              f"(peak population {k['max_population']:.0f}, remote "
+              f"fraction {k['mean_remote_fraction']:.3f}, egress "
+              f"${k['egress_cost_per_hour']:.2f}/h)")
     print("timing one sweep cell (fig04, client-server, 2h) ...", flush=True)
     cell = time_sweep_cell()
     print(f"  {cell['wall_seconds']:.2f} s")
@@ -321,12 +368,13 @@ def main(argv=None) -> int:
                        skip_catalog=args.skip_catalog)
     if args.skip_catalog and committed_current is not None:
         # A quick run must not erase the committed gate reference for
-        # the kernel it skipped: carry the old entry forward, marked.
-        skipped = committed_current.get("kernels", {}).get("catalog")
-        if skipped is not None:
-            measured["kernels"]["catalog"] = {
-                **skipped, "carried_forward": True,
-            }
+        # the kernels it skipped: carry the old entries forward, marked.
+        for label in ("catalog", "catalog-geo"):
+            skipped = committed_current.get("kernels", {}).get(label)
+            if skipped is not None:
+                measured["kernels"][label] = {
+                    **skipped, "carried_forward": True,
+                }
     if args.rebaseline or payload["baseline"] is None:
         payload["baseline"] = measured
     payload["current"] = measured

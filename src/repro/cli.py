@@ -22,6 +22,15 @@ Commands
     (:mod:`repro.sim.shard`): hundreds of channels partitioned across
     worker processes, advanced in lock-step provisioning epochs.
     Byte-deterministic for a fixed seed regardless of ``--jobs``.
+    ``--topology <preset>`` switches to the multi-region engine: viewer
+    demand splits across the preset's regions and every epoch is
+    provisioned by the geo allocator (latency-discounted utility,
+    per-GB egress pricing; ``--exact`` solves the LP optimum).
+``geo``
+    The multi-region catalog engine with geo-flavored defaults — the
+    same engine as ``catalog --topology``, defaulting to the three-
+    region preset and reporting the region-level economics (remote
+    fraction, egress spend, latency-adjusted quality).
 """
 
 from __future__ import annotations
@@ -115,30 +124,51 @@ def build_parser() -> argparse.ArgumentParser:
         "catalog",
         help="run a multi-channel catalog through the sharded engine",
     )
-    catalog.add_argument("--variant", choices=["zipf", "diurnal", "flash"],
-                         default="flash",
-                         help="arrival-shape preset (default: flash)")
-    catalog.add_argument("--channels", type=int, default=24)
-    catalog.add_argument("--chunks", type=int, default=8,
-                         help="chunks per channel")
-    catalog.add_argument("--hours", type=float, default=2.0)
-    catalog.add_argument("--rate", type=float, default=1.0,
-                         help="aggregate arrival rate, users/second")
-    catalog.add_argument("--mode", choices=["client-server", "p2p"],
-                         default="client-server")
-    catalog.add_argument("--dt", type=float, default=30.0)
-    catalog.add_argument("--interval-minutes", type=float, default=15.0,
-                         help="provisioning epoch length")
-    catalog.add_argument("--shards", type=int, default=6,
-                         help="fixed shard count (part of the scenario "
-                              "identity)")
-    catalog.add_argument("--jobs", type=int, default=1,
-                         help="worker processes (results are identical "
-                              "for any value)")
-    catalog.add_argument("--seed", type=int, default=2011)
-    catalog.add_argument("--out", default=None,
-                         help="optional path for the JSON metrics")
+    _add_catalog_args(catalog, default_topology=None)
+
+    geo = sub.add_parser(
+        "geo",
+        help="run the multi-region catalog engine (geo extension)",
+    )
+    _add_catalog_args(geo, default_topology="us-eu-ap")
     return parser
+
+
+def _add_catalog_args(parser: argparse.ArgumentParser,
+                      *, default_topology: Optional[str]) -> None:
+    """Shared knobs of ``repro catalog`` and ``repro geo``."""
+    parser.add_argument("--variant", choices=["zipf", "diurnal", "flash"],
+                        default="flash",
+                        help="arrival-shape preset (default: flash)")
+    parser.add_argument("--channels", type=int, default=24)
+    parser.add_argument("--chunks", type=int, default=8,
+                        help="chunks per channel")
+    parser.add_argument("--hours", type=float, default=2.0)
+    parser.add_argument("--rate", type=float, default=1.0,
+                        help="aggregate arrival rate, users/second")
+    parser.add_argument("--mode", choices=["client-server", "p2p"],
+                        default="client-server")
+    parser.add_argument("--dt", type=float, default=30.0)
+    parser.add_argument("--interval-minutes", type=float, default=15.0,
+                        help="provisioning epoch length")
+    parser.add_argument("--shards", type=int, default=6,
+                        help="fixed shard count (part of the scenario "
+                             "identity)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results are identical "
+                             "for any value)")
+    parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument("--topology", default=default_topology,
+                        help="geo topology preset; switches to the "
+                             "multi-region engine"
+                        + ("" if default_topology is None
+                           else f" (default: {default_topology})"))
+    parser.add_argument("--exact", action="store_true",
+                        help="solve each epoch's geo allocation as an "
+                             "exact LP instead of the greedy "
+                             "(CI-sized catalogs only)")
+    parser.add_argument("--out", default=None,
+                        help="optional path for the JSON metrics")
 
 
 def _parse_overrides(pairs: List[str]) -> dict:
@@ -405,10 +435,15 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     import json
     import time
 
-    from repro.sim.shard import ShardedSimulator, summarize_catalog
-    from repro.workload.catalog import CATALOG_VARIANTS, catalog_config
+    from repro.sim.shard import make_engine, summarize_catalog
+    from repro.workload.catalog import (
+        CATALOG_VARIANTS,
+        GEO_TOPOLOGIES,
+        catalog_config,
+        geo_catalog_config,
+    )
 
-    config = catalog_config(
+    knobs = dict(
         seed=args.seed,
         mode=args.mode,
         num_channels=args.channels,
@@ -418,40 +453,73 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
         dt=args.dt,
         interval_minutes=args.interval_minutes,
         num_shards=args.shards,
-        name=f"catalog-{args.variant}",
         **CATALOG_VARIANTS[args.variant],
     )
+    if args.topology is None and args.exact:
+        print("--exact selects the geo LP solver and needs --topology "
+              "(or use `repro geo`)", file=sys.stderr)
+        return 2
+    if args.topology is not None:
+        if args.topology not in GEO_TOPOLOGIES:
+            print(f"unknown geo topology {args.topology!r} "
+                  f"(presets: {', '.join(sorted(GEO_TOPOLOGIES))})",
+                  file=sys.stderr)
+            return 2
+        config = geo_catalog_config(
+            topology=args.topology,
+            exact=args.exact,
+            name=f"catalog-geo-{args.variant}",
+            **knobs,
+        )
+    else:
+        config = catalog_config(name=f"catalog-{args.variant}", **knobs)
     started = time.perf_counter()
-    with ShardedSimulator(config, jobs=args.jobs) as engine:
+    with make_engine(config, jobs=args.jobs) as engine:
         result = engine.run()
     wall = time.perf_counter() - started
     metrics = summarize_catalog(result)
     steps_per_sec = result.steps / wall if wall > 0 else float("inf")
+    rows = [
+        ["variant", args.variant],
+        ["channels x chunks",
+         f"{args.channels} x {args.chunks}"],
+        ["shards (workers)",
+         f"{config.effective_shards} ({args.jobs})"],
+        ["simulated hours", f"{args.hours:g}"],
+        ["arrivals", metrics["arrivals"]],
+        ["peak population", metrics["peak_population"]],
+        ["final population", metrics["final_population"]],
+        ["avg streaming quality", f"{metrics['average_quality']:.3f}"],
+        ["mean reserved (Mbps)",
+         f"{metrics['mean_reserved_mbps']:.0f}"],
+        ["mean used (Mbps)", f"{metrics['mean_used_mbps']:.0f}"],
+        ["VM cost ($/h)", f"{metrics['vm_cost_per_hour']:.2f}"],
+    ]
+    if args.topology is not None:
+        solver = "LP (exact)" if args.exact else "greedy"
+        rows += [
+            ["regions (topology)",
+             f"{metrics['num_regions']} ({args.topology}, {solver})"],
+            ["mean remote fraction",
+             f"{metrics['mean_remote_fraction']:.3f}"],
+            ["egress cost ($/h)",
+             f"{metrics['egress_cost_per_hour']:.2f}"],
+            ["latency-adj quality",
+             f"{metrics['latency_adjusted_quality']:.3f}"],
+        ]
+    rows += [
+        ["steps/s", f"{steps_per_sec:.1f}"],
+        ["wall seconds", f"{wall:.1f}"],
+    ]
     print(format_table(
         ["metric", "value"],
-        [
-            ["variant", args.variant],
-            ["channels x chunks",
-             f"{args.channels} x {args.chunks}"],
-            ["shards (workers)",
-             f"{config.effective_shards} ({args.jobs})"],
-            ["simulated hours", f"{args.hours:g}"],
-            ["arrivals", metrics["arrivals"]],
-            ["peak population", metrics["peak_population"]],
-            ["final population", metrics["final_population"]],
-            ["avg streaming quality", f"{metrics['average_quality']:.3f}"],
-            ["mean reserved (Mbps)",
-             f"{metrics['mean_reserved_mbps']:.0f}"],
-            ["mean used (Mbps)", f"{metrics['mean_used_mbps']:.0f}"],
-            ["VM cost ($/h)", f"{metrics['vm_cost_per_hour']:.2f}"],
-            ["steps/s", f"{steps_per_sec:.1f}"],
-            ["wall seconds", f"{wall:.1f}"],
-        ],
+        rows,
         title=f"sharded catalog run ({config.name}, seed {args.seed})",
     ))
     if args.out is not None:
         payload = {
             "variant": args.variant,
+            "topology": args.topology,
             "seed": args.seed,
             "jobs": args.jobs,
             "wall_seconds": wall,
@@ -475,6 +543,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenarios": _cmd_scenarios,
         "sweep": _cmd_sweep,
         "catalog": _cmd_catalog,
+        "geo": _cmd_catalog,  # same engine, geo-flavored defaults
     }
     return handlers[args.command](args)
 

@@ -1,9 +1,13 @@
 """Usage metering and cost accounting (paper Section III-A charging model).
 
-Two charges are levied on the consumer, both per unit time:
+Three charges are levied on the consumer, all per unit time:
 
 * VM rental — each active VM of cluster v costs p~_v per hour;
-* NFS storage — each stored byte on cluster f costs p_f per hour.
+* NFS storage — each stored byte on cluster f costs p_f per hour;
+* cross-region egress — the geo extension's per-GB transfer pricing,
+  metered as a piecewise-constant dollars-per-hour rate (each remote
+  VM-allocation streams at the VM bandwidth, so the controller reports
+  the plan's aggregate egress rate; intra-region traffic is free).
 
 The meter integrates piecewise-constant usage over simulated time, so
 changing the allocation mid-hour bills each sub-interval at its own level,
@@ -31,10 +35,11 @@ class CostReport:
     storage_cost: float
     vm_hours: Mapping[str, float]
     stored_byte_hours: Mapping[str, float]
+    egress_cost: float = 0.0
 
     @property
     def total_cost(self) -> float:
-        return self.vm_cost + self.storage_cost
+        return self.vm_cost + self.storage_cost + self.egress_cost
 
     @property
     def hourly_vm_cost(self) -> float:
@@ -46,6 +51,11 @@ class CostReport:
     def hourly_storage_cost(self) -> float:
         hours = self.window_seconds / _SECONDS_PER_HOUR
         return self.storage_cost / hours if hours > 0 else 0.0
+
+    @property
+    def hourly_egress_cost(self) -> float:
+        hours = self.window_seconds / _SECONDS_PER_HOUR
+        return self.egress_cost / hours if hours > 0 else 0.0
 
 
 class BillingMeter:
@@ -70,6 +80,8 @@ class BillingMeter:
         self._start_time = float(start_time)
         self._vm_hours: Dict[str, float] = {name: 0.0 for name in vm_clusters}
         self._byte_hours: Dict[str, float] = {name: 0.0 for name in nfs_clusters}
+        self._egress_rate = 0.0  # $/hour, piecewise constant
+        self._egress_cost = 0.0  # accrued dollars
         # (time, hourly_vm_cost_rate) samples for time series reporting.
         self._rate_history: List[Tuple[float, float]] = []
 
@@ -87,6 +99,7 @@ class BillingMeter:
                 self._vm_hours[name] += level * hours
             for name, level in self._storage_levels.items():
                 self._byte_hours[name] += level * hours
+            self._egress_cost += self._egress_rate * hours
         self._last_time = now
 
     def record_vm_usage(self, now: float, active_vms: Mapping[str, int]) -> None:
@@ -114,6 +127,19 @@ class BillingMeter:
                 raise ValueError(f"negative storage level for {name!r}")
             self._storage_levels[name] = float(level)
 
+    def record_egress_rate(self, now: float, dollars_per_hour: float) -> None:
+        """Set the cross-region egress spend rate, effective at ``now``.
+
+        The geo controller derives the rate from its allocation plan
+        (each remote fractional VM streams at the VM bandwidth across a
+        priced link); the meter integrates it exactly like the VM and
+        storage levels.
+        """
+        if dollars_per_hour < 0:
+            raise ValueError("egress rate must be >= 0")
+        self._accrue(now)
+        self._egress_rate = float(dollars_per_hour)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -130,6 +156,10 @@ class BillingMeter:
             level * self.nfs_clusters[name].price_per_byte_hour
             for name, level in self._storage_levels.items()
         )
+
+    def current_egress_cost_rate(self) -> float:
+        """Instantaneous cross-region egress spend, dollars/hour."""
+        return self._egress_rate
 
     def vm_cost_rate_history(self) -> List[Tuple[float, float]]:
         """(time, $/hour) samples recorded at each VM level change."""
@@ -152,4 +182,5 @@ class BillingMeter:
             storage_cost=storage_cost,
             vm_hours=dict(self._vm_hours),
             stored_byte_hours=dict(self._byte_hours),
+            egress_cost=self._egress_cost,
         )

@@ -37,7 +37,32 @@ from repro.core.storage_rental import StoragePlan, StorageProblem, greedy_storag
 from repro.core.vm_allocation import VMAllocationPlan, VMProblem, greedy_vm_allocation
 from repro.vod.tracker import IntervalStats, TrackingServer
 
-__all__ = ["ProvisioningDecision", "ProvisioningController"]
+__all__ = [
+    "ProvisioningDecision",
+    "ProvisioningController",
+    "storage_demand_shifted",
+]
+
+
+def storage_demand_shifted(
+    last: Mapping[ChunkKey, float],
+    current: Mapping[ChunkKey, float],
+    threshold: float,
+) -> bool:
+    """Has chunk demand shifted enough to replan storage (Section V-B)?
+
+    True when videos were added/removed (key sets differ) or the
+    relative L1 change of the demand vector exceeds ``threshold``.
+    Shared by the single-region and geo controllers so the replan rule
+    cannot silently diverge between them.
+    """
+    if set(current) != set(last):
+        return True  # videos added or removed
+    baseline = sum(last.values())
+    if baseline <= 0:
+        return any(v > 0 for v in current.values())
+    shift = sum(abs(current[k] - last.get(k, 0.0)) for k in current)
+    return shift / baseline > threshold
 
 
 @dataclass
@@ -151,14 +176,11 @@ class ProvisioningController:
     def _should_replan_storage(self, chunk_demand: Mapping[ChunkKey, float]) -> bool:
         if not self._storage_planned:
             return True
-        last = self._last_chunk_demand or {}
-        if set(chunk_demand) != set(last):
-            return True  # videos added or removed
-        baseline = sum(last.values())
-        if baseline <= 0:
-            return any(v > 0 for v in chunk_demand.values())
-        shift = sum(abs(chunk_demand[k] - last.get(k, 0.0)) for k in chunk_demand)
-        return shift / baseline > self.storage_replan_threshold
+        return storage_demand_shifted(
+            self._last_chunk_demand or {},
+            chunk_demand,
+            self.storage_replan_threshold,
+        )
 
     def _grants_to_channel_arrays(
         self,

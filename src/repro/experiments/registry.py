@@ -558,6 +558,31 @@ _CATALOG_DEFAULTS = {
 }
 
 
+def _run_geo_catalog_cell(*, seed: int, variant: str = "zipf",
+                          **params) -> Dict[str, float]:
+    """A multi-region catalog cell: the sharded engine under the geo
+    control plane (lazy imports for the same cycle reason as above)."""
+    from repro.sim.shard import run_catalog, summarize_catalog
+    from repro.workload.catalog import geo_catalog_config
+
+    overrides = dict(CATALOG_VARIANTS[variant])
+    overrides.update(params)
+    config = geo_catalog_config(
+        seed=seed, name=f"catalog-geo-{variant}", **overrides
+    )
+    return summarize_catalog(run_catalog(config))
+
+
+#: The geo catalog's extra knobs on top of the shared catalog sizing:
+#: the topology preset (regions, latency, egress pricing) and the exact
+#: LP toggle (CI-sized catalogs only; the greedy scales).
+_GEO_CATALOG_DEFAULTS = {
+    **_CATALOG_DEFAULTS,
+    "topology": "us-eu-ap",
+    "exact": False,
+}
+
+
 # ----------------------------------------------------------------------
 # Geo extension (paper Section VII) — three regions, shifted flash crowds.
 # ----------------------------------------------------------------------
@@ -876,6 +901,34 @@ register(ScenarioSpec(
     run=_run_catalog_cell,
     expected_seconds=10.0,
     tags=("extension", "catalog", "sharded"),
+))
+
+register(ScenarioSpec(
+    name="catalog-geo-zipf",
+    title="Multi-region catalog: Zipf demand split over a geo topology",
+    paper_ref="Section VII (geo extension) x Section III catalog, closed loop",
+    grid=_MODE_GRID,
+    defaults={"variant": "zipf", **_GEO_CATALOG_DEFAULTS},
+    build=None,
+    run=_run_geo_catalog_cell,
+    expected_seconds=10.0,
+    tags=("extension", "catalog", "sharded", "geo"),
+))
+
+register(ScenarioSpec(
+    name="catalog-geo-flash",
+    title="Multi-region catalog: correlated flash crowd across regions",
+    paper_ref="Section VII x Section VI-A flash crowds, cross-region spill",
+    grid=_MODE_GRID,
+    defaults={
+        "variant": "flash",
+        **CATALOG_VARIANTS["flash"],
+        **_GEO_CATALOG_DEFAULTS,
+    },
+    build=None,
+    run=_run_geo_catalog_cell,
+    expected_seconds=12.0,
+    tags=("extension", "catalog", "sharded", "geo"),
 ))
 
 register(ScenarioSpec(

@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro import __version__
 from repro.experiments import registry
 
@@ -80,11 +82,24 @@ ARTIFACT_SCHEMA = 2
 def _canonical(params: Mapping[str, object]) -> Dict[str, object]:
     """Sorted, JSON-round-trippable copy of a cell's parameters."""
     return json.loads(
-        json.dumps(dict(params), sort_keys=True, default=_reject_unserializable)
+        json.dumps(dict(params), sort_keys=True, default=_coerce_scalar)
     )
 
 
-def _reject_unserializable(value: object) -> object:
+def _coerce_scalar(value: object) -> object:
+    """JSON fallback: numpy scalars hash like their Python equivalents.
+
+    Grids built with ``np.arange``/``np.linspace`` leak ``np.int64``/
+    ``np.float32``/``np.bool_`` values (``np.float64`` already subclasses
+    ``float``); coercing them here keeps a numpy-built grid's cell hashes
+    identical to the pure-Python grid's, so artifacts stay cache-hits.
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
     raise TypeError(
         f"sweep parameters must be JSON-serializable, got {value!r} "
         f"({type(value).__name__})"

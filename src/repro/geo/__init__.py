@@ -10,6 +10,11 @@ that extension on top of the reproduction's substrates:
   problem: per-region viewer demand may be served from any region, with
   latency-discounted utility and egress-inflated cost; solved with the
   same greedy style as Eqn (7) plus an LP optimum for comparison.
+* :mod:`repro.geo.controller` — the multi-region provisioning
+  controller the sharded catalog engine drives every epoch
+  (:class:`repro.sim.shard.GeoShardedSimulator`): per-region demand
+  estimation, the allocation solve, broker negotiation over the
+  regional clusters, and egress/latency-discount accounting.
 """
 
 from repro.geo.allocation import (
@@ -18,6 +23,10 @@ from repro.geo.allocation import (
     greedy_geo_allocation,
     lp_geo_allocation,
 )
+from repro.geo.controller import (
+    GeoProvisioningController,
+    GeoProvisioningDecision,
+)
 from repro.geo.region import GeoTopology, RegionSpec
 
 __all__ = [
@@ -25,6 +34,8 @@ __all__ = [
     "GeoVMProblem",
     "greedy_geo_allocation",
     "lp_geo_allocation",
+    "GeoProvisioningController",
+    "GeoProvisioningDecision",
     "GeoTopology",
     "RegionSpec",
 ]

@@ -1,0 +1,381 @@
+"""The multi-region provisioning controller (geo extension, Section VII).
+
+The single-region controller (:mod:`repro.core.provisioner`) solves the
+paper's Eqn (7) VM configuration per interval.  This controller runs the
+same tracker → predictor → Section IV analysis front-end per channel
+*slot* (a (viewer-region, channel) pair), then groups the resulting
+per-chunk cloud demands by viewer region and solves the multi-region
+problem (:mod:`repro.geo.allocation`): any region's clusters may serve
+any region's viewers, at a latency-discounted utility and an
+egress-inflated price, under one global hourly budget.
+
+Each decision yields
+
+* per-slot granted capacity arrays (the sum over serving cells, exactly
+  like the single-region grants),
+* integer VM targets per ``<region>:<cluster>`` plus the Eqn (6)
+  storage placement (one stored copy per *channel* chunk in the global
+  NFS estate serves every region), submitted through the broker,
+* the plan's aggregate cross-region egress spend rate, metered by
+  :meth:`repro.cloud.billing.BillingMeter.record_egress_rate`, and
+* per-viewer-region capacity-weighted latency utility discounts, which
+  the engine folds into the quality metrics
+  (:func:`repro.vod.metrics.latency_adjusted_quality`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.broker import Broker, NegotiationError, ResourceRequest, \
+    SLAAgreement
+from repro.core.demand import ChannelDemand, DemandEstimator
+from repro.core.predictor import ArrivalRatePredictor, LastIntervalPredictor
+from repro.core.provisioner import storage_demand_shifted
+from repro.core.sla import SLATerms
+from repro.core.storage_rental import StoragePlan, StorageProblem, \
+    greedy_storage_rental
+from repro.geo.allocation import (
+    GeoAllocationPlan,
+    GeoVMProblem,
+    greedy_geo_allocation,
+    lp_geo_allocation,
+)
+from repro.geo.region import GeoTopology
+from repro.vod.tracker import IntervalStats, TrackingServer
+
+__all__ = ["GeoProvisioningDecision", "GeoProvisioningController"]
+
+
+@dataclass
+class GeoProvisioningDecision:
+    """Everything the geo controller decided for one interval."""
+
+    time: float
+    demands: List[ChannelDemand]
+    plan: GeoAllocationPlan
+    agreement: Optional[SLAAgreement]
+    per_channel_capacity: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: The Eqn (6) storage rental, replanned on significant demand shift
+    #: (``None`` when the previous placement was kept).  Storage is
+    #: placed at *channel* granularity: one copy of each chunk in the
+    #: global NFS estate serves every region's slots.
+    storage_plan: Optional[StoragePlan] = None
+    rejected: Optional[str] = None
+    #: $/hour of cross-region transfer implied by the plan.
+    egress_rate_per_hour: float = 0.0
+    #: Viewer region -> capacity-weighted latency utility discount in
+    #: (0, 1]; 1.0 when the region is fully served locally (or idle).
+    region_discounts: Dict[str, float] = field(default_factory=dict)
+    #: Fraction of allocated VM-hours served across regions.
+    remote_fraction: float = 0.0
+
+    @property
+    def hourly_vm_cost(self) -> float:
+        return self.agreement.hourly_vm_cost if self.agreement else 0.0
+
+    @property
+    def total_cloud_demand(self) -> float:
+        return float(sum(d.total_cloud_demand for d in self.demands))
+
+    def mean_discount(self) -> float:
+        """Capacity-weighted discount across all viewer regions."""
+        weights = self.plan.region_service_matrix()
+        total = sum(weights.values())
+        if total <= 0:
+            return 1.0
+        acc = 0.0
+        for (viewer, _serving), z in weights.items():
+            acc += z * self.region_discounts.get(viewer, 1.0)
+        return acc / total
+
+
+class GeoProvisioningController:
+    """Closes the provisioning loop across regions.
+
+    Parameters
+    ----------
+    estimator / tracker / broker / terms / predictor:
+        Same roles as in the single-region controller; the tracker and
+        predictor are keyed by slot id.
+    topology:
+        The solver-facing region graph (unprefixed cluster names; the
+        broker-facing names are ``<region>:<cluster>``).
+    slot_region:
+        Maps a slot id to its viewer region name.
+    slot_channel:
+        Maps a slot id to its catalog channel — the storage rental
+        places one copy per *channel* chunk (the NFS estate is global),
+        so regional slots of a channel pool their demand.
+    exact:
+        Use the LP optimum instead of the greedy each interval.
+    min_capacity_per_chunk:
+        Same floor semantics as the single-region controller.
+    storage_replan_threshold:
+        Relative L1 change in the channel-chunk demand vector that
+        triggers a storage replan (same rule as the single-region
+        controller).
+    """
+
+    def __init__(
+        self,
+        estimator: DemandEstimator,
+        tracker: TrackingServer,
+        broker: Broker,
+        topology: GeoTopology,
+        terms: SLATerms,
+        slot_region: Callable[[int], str],
+        slot_channel: Callable[[int], int],
+        *,
+        predictor: Optional[ArrivalRatePredictor] = None,
+        exact: bool = False,
+        min_capacity_per_chunk: float = 0.0,
+        storage_replan_threshold: float = 0.25,
+    ) -> None:
+        if storage_replan_threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.estimator = estimator
+        self.tracker = tracker
+        self.broker = broker
+        self.topology = topology
+        self.terms = terms
+        self.slot_region = slot_region
+        self.slot_channel = slot_channel
+        self.predictor = predictor or LastIntervalPredictor()
+        self.exact = bool(exact)
+        self.min_capacity_per_chunk = min_capacity_per_chunk
+        self.storage_replan_threshold = storage_replan_threshold
+        self.decisions: List[GeoProvisioningDecision] = []
+        self._last_chunk_demand: Optional[Dict[object, float]] = None
+        self._storage_planned = False
+
+    @property
+    def vm_bandwidth(self) -> float:
+        return self.estimator.model.vm_bandwidth
+
+    @property
+    def chunk_size_bytes(self) -> float:
+        return self.estimator.model.chunk_size_bytes
+
+    # ------------------------------------------------------------------
+    def _regional_demands(
+        self, demands: Sequence[ChannelDemand]
+    ) -> Dict[str, Dict[object, float]]:
+        """Group per-slot chunk demands by viewer region, fixed order.
+
+        Regions appear in topology declaration order, and within a
+        region the chunk keys follow slot-id order, so the solvers see a
+        deterministic problem no matter how the reports arrived.
+        """
+        regional: Dict[str, Dict[object, float]] = {
+            name: {} for name in self.topology.region_names()
+        }
+        for demand in demands:
+            region = regional[self.slot_region(demand.channel_id)]
+            for chunk_key, delta in demand.chunk_demands().items():
+                region[chunk_key] = delta
+        return regional
+
+    def _capacity_arrays(
+        self,
+        demands: Sequence[ChannelDemand],
+        plan: GeoAllocationPlan,
+    ) -> Dict[int, np.ndarray]:
+        """Granted bytes/s per slot chunk: R × Σ serving cells, plus the
+        populated-chunk floor (same contract as the single-region
+        controller's grants)."""
+        grants: Dict[int, Dict[int, float]] = {}
+        for (_viewer, (slot, chunk), _s, _cl), z in plan.allocations.items():
+            slot_grants = grants.setdefault(slot, {})
+            slot_grants[chunk] = (
+                slot_grants.get(chunk, 0.0) + z * self.vm_bandwidth
+            )
+        arrays: Dict[int, np.ndarray] = {}
+        for demand in demands:
+            j = demand.cloud_demand.size
+            arr = np.zeros(j, dtype=float)
+            for i, value in grants.get(demand.channel_id, {}).items():
+                arr[i] = value
+            if self.min_capacity_per_chunk > 0:
+                populated = demand.expected_in_system > 0
+                arr[populated] = np.maximum(
+                    arr[populated], self.min_capacity_per_chunk
+                )
+            arrays[demand.channel_id] = arr
+        return arrays
+
+    def _channel_chunk_demand(
+        self, demands: Sequence[ChannelDemand]
+    ) -> Dict[object, float]:
+        """Slot demands pooled to ``{(channel, chunk): Delta}``.
+
+        One stored copy serves every region, so the storage optimizer
+        sees the catalog's channel-chunk space, not the slot space.
+        Accumulation follows slot order (fixed) for determinism.
+        """
+        pooled: Dict[object, float] = {}
+        for demand in demands:
+            channel = self.slot_channel(demand.channel_id)
+            for i, delta in enumerate(demand.cloud_demand):
+                key = (channel, i)
+                pooled[key] = pooled.get(key, 0.0) + float(delta)
+        return pooled
+
+    def _should_replan_storage(
+        self, chunk_demand: Dict[object, float]
+    ) -> bool:
+        if not self._storage_planned:
+            return True
+        return storage_demand_shifted(
+            self._last_chunk_demand or {},
+            chunk_demand,
+            self.storage_replan_threshold,
+        )
+
+    def _egress_rate(self, plan: GeoAllocationPlan) -> float:
+        """$/hour of cross-region transfer the plan implies."""
+        rate = 0.0
+        for (viewer, _chunk, serving, _cluster), z in plan.allocations.items():
+            if viewer != serving:
+                rate += z * self.topology.egress_cost_per_vm_hour(
+                    serving, viewer, self.vm_bandwidth
+                )
+        return rate
+
+    def _region_discounts(self, plan: GeoAllocationPlan) -> Dict[str, float]:
+        """Capacity-weighted latency discount per viewer region."""
+        weighted: Dict[str, float] = {}
+        totals: Dict[str, float] = {}
+        for (viewer, serving), z in plan.region_service_matrix().items():
+            weighted[viewer] = weighted.get(viewer, 0.0) + z * \
+                self.topology.utility_discount(serving, viewer)
+            totals[viewer] = totals.get(viewer, 0.0) + z
+        return {
+            name: (weighted[name] / totals[name] if totals.get(name) else 1.0)
+            for name in self.topology.region_names()
+        }
+
+    # ------------------------------------------------------------------
+    def provision(
+        self, now: float, demands: List[ChannelDemand]
+    ) -> GeoProvisioningDecision:
+        """Optimize, negotiate and apply one set of slot demands."""
+        problem = GeoVMProblem(
+            topology=self.topology,
+            demands=self._regional_demands(demands),
+            vm_bandwidth=self.vm_bandwidth,
+            budget_per_hour=self.terms.vm_budget_per_hour,
+        )
+        solve = lp_geo_allocation if self.exact else greedy_geo_allocation
+        plan = solve(problem)
+
+        # Storage rental (Eqn (6)) on significant demand shift, exactly
+        # like the single-region controller — at channel granularity.
+        chunk_demand = self._channel_chunk_demand(demands)
+        storage_plan: Optional[StoragePlan] = None
+        nfs_specs = list(self.broker.facility.nfs_specs.values())
+        if nfs_specs and self._should_replan_storage(chunk_demand):
+            storage_plan = greedy_storage_rental(StorageProblem(
+                demands=chunk_demand,
+                chunk_size_bytes=self.chunk_size_bytes,
+                clusters=nfs_specs,
+                budget_per_hour=self.terms.storage_budget_per_hour,
+            ))
+
+        vm_targets = {
+            f"{region}:{cluster}": 0
+            for region in self.topology.region_names()
+            for cluster in (
+                c.name for c in self.topology.regions[region].clusters
+            )
+        }
+        for (region, cluster), total in sorted(plan.cluster_totals().items()):
+            vm_targets[f"{region}:{cluster}"] = int(np.ceil(total - 1e-9))
+
+        placement = (
+            storage_plan.to_facility_placement(self.chunk_size_bytes)
+            if storage_plan is not None and storage_plan.feasible
+            else None
+        )
+        request = ResourceRequest(
+            vm_targets=vm_targets,
+            storage_placement=placement,
+            max_hourly_budget=self.terms.total_budget_per_hour,
+        )
+        agreement: Optional[SLAAgreement] = None
+        rejected: Optional[str] = None
+        try:
+            agreement = self.broker.request(request)
+        except NegotiationError as exc:
+            rejected = str(exc)
+
+        # On rejection the facility keeps its previous VM allocation, so
+        # the previous egress level keeps accruing too — metering the
+        # rejected plan's rate would bill remote capacity that was never
+        # deployed (the single-region analogue records $0 VM rate on
+        # rejection for the same reason).
+        egress_rate = self._egress_rate(plan) if agreement else 0.0
+        if agreement:
+            self.broker.facility.billing.record_egress_rate(
+                now, egress_rate
+            )
+
+        decision = GeoProvisioningDecision(
+            time=now,
+            demands=demands,
+            plan=plan,
+            agreement=agreement,
+            per_channel_capacity=self._capacity_arrays(demands, plan),
+            storage_plan=storage_plan,
+            rejected=rejected,
+            egress_rate_per_hour=egress_rate,
+            region_discounts=self._region_discounts(plan),
+            remote_fraction=plan.remote_fraction(),
+        )
+        self.decisions.append(decision)
+
+        if storage_plan is not None and storage_plan.feasible and agreement:
+            self._storage_planned = True
+        self._last_chunk_demand = dict(chunk_demand)
+        return decision
+
+    # ------------------------------------------------------------------
+    def bootstrap(
+        self,
+        now: float,
+        expected_rates: Mapping[int, float],
+        *,
+        peer_upload: Optional[float] = None,
+    ) -> GeoProvisioningDecision:
+        """Initial deployment from expected per-slot arrival rates."""
+        synthetic: List[IntervalStats] = [
+            self.tracker.empty_stats(slot) for slot in sorted(expected_rates)
+        ]
+        demands = self.estimator.estimate_all(
+            synthetic,
+            arrival_rates=dict(expected_rates),
+            peer_upload=peer_upload,
+        )
+        return self.provision(now, demands)
+
+    def run_interval(
+        self,
+        now: float,
+        *,
+        peer_upload: Optional[float] = None,
+    ) -> GeoProvisioningDecision:
+        """Execute one periodic provisioning round at time ``now``."""
+        interval_stats: List[IntervalStats] = self.tracker.close_interval()
+        predicted: Dict[int, float] = {}
+        for stats in interval_stats:
+            self.predictor.observe(stats.channel_id, stats.arrival_rate)
+            predicted[stats.channel_id] = self.predictor.predict(
+                stats.channel_id
+            )
+        demands = self.estimator.estimate_all(
+            interval_stats, arrival_rates=predicted, peer_upload=peer_upload
+        )
+        return self.provision(now, demands)

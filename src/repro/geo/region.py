@@ -94,12 +94,33 @@ class GeoTopology:
             self._check_regions(a, b)
             if value < 0:
                 raise ValueError("latency must be >= 0")
+            if a == b:
+                # Intra-region latency is configured through
+                # local_latency_ms only; a diagonal entry that silently
+                # overrode it would contradict the documented defaults.
+                if float(value) != float(local_latency_ms):
+                    raise ValueError(
+                        f"diagonal latency entry {(a, b)} = {value} "
+                        f"conflicts with local_latency_ms="
+                        f"{local_latency_ms}; intra-region latency is "
+                        f"set via local_latency_ms"
+                    )
+                continue
             self._latency[(a, b)] = float(value)
             self._latency.setdefault((b, a), float(value))
         for (a, b), value in egress_price_per_gb.items():
             self._check_regions(a, b)
             if value < 0:
                 raise ValueError("egress price must be >= 0")
+            if a == b:
+                # Intra-region traffic is free by contract.
+                if float(value) != 0.0:
+                    raise ValueError(
+                        f"diagonal egress entry {(a, b)} = {value} "
+                        f"conflicts with the free-intra-region contract "
+                        f"(must be 0)"
+                    )
+                continue
             self._egress[(a, b)] = float(value)
             self._egress.setdefault((b, a), float(value))
 

@@ -60,17 +60,29 @@ def erlang_b(servers: int, offered_load: float) -> float:
     return b
 
 
-def erlang_c(servers: int, offered_load: float) -> float:
+def erlang_c(servers: int, offered_load: float, *,
+             saturated: bool = False) -> float:
     """Erlang-C probability that an arriving job must wait (M/M/m).
 
-    Requires a stable queue, i.e. ``offered_load < servers``.
+    Requires a stable queue, i.e. ``offered_load < servers``, unless
+    ``saturated=True``: a queue at or beyond saturation has no stationary
+    distribution, but the wait probability tends to 1 as the load
+    approaches ``servers`` from below, so capacity probes that can
+    legitimately cross the boundary mid-transient (flash crowds hitting a
+    not-yet-scaled channel) opt into the limiting value ``1.0`` instead
+    of wrapping every call in try/except.
     """
     a = _validate_load(offered_load)
     m = int(servers)
     if m <= 0:
         raise ValueError("Erlang C needs at least one server")
     if a >= m:
-        raise ValueError(f"unstable queue: offered load {a} >= servers {m}")
+        if saturated:
+            return 1.0
+        raise ValueError(
+            f"unstable queue: offered load {a} >= servers {m} "
+            f"(pass saturated=True for the limiting wait probability 1.0)"
+        )
     if a == 0.0:
         return 0.0
     b = erlang_b(m, a)

@@ -128,8 +128,8 @@ def channel_startup_delay(
     if m <= 0:
         m = 1
     offered = lam / mu
-    wait_prob = erlang_c(m, offered) if offered < m and lam > 0 else (
-        0.0 if lam == 0 else 1.0
+    wait_prob = (
+        0.0 if lam == 0 else erlang_c(m, offered, saturated=True)
     )
     return StartupDelayModel(
         servers=m, arrival_rate=lam, service_rate=mu, wait_probability=wait_prob

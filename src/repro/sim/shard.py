@@ -48,10 +48,13 @@ from repro.cloud.scheduler import CloudFacility
 from repro.core.demand import DemandEstimator
 from repro.core.predictor import ArrivalRatePredictor
 from repro.core.provisioner import ProvisioningController, ProvisioningDecision
+from repro.geo.controller import GeoProvisioningController
+from repro.vod.metrics import latency_adjusted_quality
 from repro.vod.simulator import VoDSimulator, VoDSystemConfig
 from repro.vod.tracker import IntervalStats, TrackingServer
 from repro.workload.catalog import (
     CatalogConfig,
+    GeoCatalogConfig,
     build_shard_trace,
     channel_shapes,
     shard_channel_ids,
@@ -62,9 +65,12 @@ __all__ = [
     "EpochReport",
     "MergedEpoch",
     "CatalogResult",
+    "GeoCatalogResult",
     "ShardedSimulator",
+    "GeoShardedSimulator",
     "ShardEngineError",
     "merge_epoch_reports",
+    "make_engine",
     "run_catalog",
     "summarize_catalog",
 ]
@@ -88,15 +94,15 @@ class ChannelShard:
         )
         all_channels = config.channels()
         channels = [all_channels[c] for c in self.channel_ids]
-        # The tracker is sized for the whole catalog so global channel
-        # ids index it directly; only owned channels ever receive
-        # observations, and reports carry only the owned slice.  History
-        # is disabled: the owned slice ships to the control plane every
-        # epoch, so retaining closed intervals here would only grow
+        # The tracker is sized for the whole catalog's slot space so
+        # global channel ids index it directly; only owned channels ever
+        # receive observations, and reports carry only the owned slice.
+        # History is disabled: the owned slice ships to the control plane
+        # every epoch, so retaining closed intervals here would only grow
         # memory linearly with the horizon.
         tracker = TrackingServer(
-            num_channels=config.num_channels,
-            chunks_per_channel=[config.chunks_per_channel] * config.num_channels,
+            num_channels=config.channel_slots,
+            chunks_per_channel=[config.chunks_per_channel] * config.channel_slots,
             interval_seconds=config.interval_seconds,
             keep_history=False,
         )
@@ -347,6 +353,21 @@ class ShardEngineError(RuntimeError):
     """A shard worker died or reported an exception."""
 
 
+def _jobs_from_env() -> int:
+    """Worker count from ``REPRO_CATALOG_JOBS`` (validated, clamped >= 1)."""
+    raw = os.environ.get("REPRO_CATALOG_JOBS", "")
+    if not raw.strip():
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CATALOG_JOBS must be an integer worker count, "
+            f"got {raw!r}"
+        ) from None
+    return max(1, jobs)
+
+
 # ----------------------------------------------------------------------
 # Results
 # ----------------------------------------------------------------------
@@ -392,6 +413,45 @@ class CatalogResult:
         return 1.0 - self.unsmooth_retrievals / self.total_retrievals
 
 
+@dataclass
+class GeoCatalogResult(CatalogResult):
+    """A multi-region catalog run: everything in :class:`CatalogResult`
+    plus the geo layer's per-epoch allocation telemetry.
+
+    ``epoch_discounts``/``epoch_remote_fractions`` align with
+    ``epoch_times``: entry ``k`` describes the plan that was *in effect*
+    during epoch ``k`` (the bootstrap plan for the first epoch, then
+    each periodic decision for the epoch it capacitates).
+    """
+
+    region_names: List[str] = field(default_factory=list)
+    epoch_discounts: List[float] = field(default_factory=list)
+    epoch_remote_fractions: List[float] = field(default_factory=list)
+    epoch_egress_rates: List[float] = field(default_factory=list)
+
+    @property
+    def mean_latency_discount(self) -> float:
+        if not self.epoch_discounts:
+            return 1.0
+        return float(np.mean(self.epoch_discounts))
+
+    def latency_adjusted_quality_series(self) -> np.ndarray:
+        """Quality samples scaled by their epoch's utility discount."""
+        return latency_adjusted_quality(
+            self.quality_times,
+            self.quality,
+            np.asarray(self.epoch_times),
+            np.asarray(self.epoch_discounts),
+        )
+
+    @property
+    def latency_adjusted_quality(self) -> float:
+        series = self.latency_adjusted_quality_series()
+        if series.size == 0:
+            return self.mean_latency_discount
+        return float(np.mean(series))
+
+
 def summarize_catalog(result: CatalogResult) -> Dict[str, float]:
     """Flatten a catalog run into the sweep's JSON metrics schema."""
     reserved = result.provisioned * 8.0 / 1e6
@@ -409,7 +469,7 @@ def summarize_catalog(result: CatalogResult) -> Dict[str, float]:
         float(result.cost_report.hourly_vm_cost)
         if result.cost_report is not None else 0.0
     )
-    return {
+    metrics = {
         "arrivals": int(result.arrivals),
         "departures": int(result.departures),
         "final_population": int(result.final_population),
@@ -436,6 +496,23 @@ def summarize_catalog(result: CatalogResult) -> Dict[str, float]:
         "num_channels": int(result.config.num_channels),
         "num_shards": int(result.config.effective_shards),
     }
+    if isinstance(result, GeoCatalogResult):
+        metrics.update({
+            "num_regions": int(len(result.region_names)),
+            "mean_latency_discount": float(result.mean_latency_discount),
+            "latency_adjusted_quality": float(
+                result.latency_adjusted_quality
+            ),
+            "mean_remote_fraction": (
+                float(np.mean(result.epoch_remote_fractions))
+                if result.epoch_remote_fractions else 0.0
+            ),
+            "egress_cost_per_hour": (
+                float(result.cost_report.hourly_egress_cost)
+                if result.cost_report is not None else 0.0
+            ),
+        })
+    return metrics
 
 
 # ----------------------------------------------------------------------
@@ -466,11 +543,13 @@ class ShardedSimulator:
         self.config = config
         self.jobs = max(1, min(int(jobs), config.effective_shards))
         self._now = 0.0
+        self._peer_upload: Optional[float] = None
+        self.vm_cost_series: List[float] = []
 
-        behaviour = config.behaviour_matrix()
         self.tracker = TrackingServer(
-            num_channels=config.num_channels,
-            chunks_per_channel=[config.chunks_per_channel] * config.num_channels,
+            num_channels=config.channel_slots,
+            chunks_per_channel=[config.chunks_per_channel]
+            * config.channel_slots,
             interval_seconds=config.interval_seconds,
         )
         self.facility = CloudFacility(
@@ -479,25 +558,31 @@ class ShardedSimulator:
             clock=lambda: self._now,
         )
         self.broker = Broker(self.facility)
-        estimator = DemandEstimator(
+        self._estimator = DemandEstimator(
             config.capacity_model(),
             mode=config.mode,
-            default_prior=behaviour,
+            default_prior=config.behaviour_matrix(),
         )
-        self.controller = ProvisioningController(
-            estimator,
-            self.tracker,
-            self.broker,
-            config.sla_terms(),
-            predictor=predictor,
-            min_capacity_per_chunk=config.constants.streaming_rate,
-        )
+        self.controller = self._build_controller(predictor)
 
         self._shards: Optional[List[ChannelShard]] = None  # jobs == 1
         self._workers: List[mp.Process] = []
         self._conns: List = []
         self._started = False
         self._closed = False
+
+    def _build_controller(
+        self, predictor: Optional[ArrivalRatePredictor]
+    ) -> ProvisioningController:
+        """The control plane: single-region Eqn (6)/(7) provisioning."""
+        return ProvisioningController(
+            self._estimator,
+            self.tracker,
+            self.broker,
+            self.config.sla_terms(),
+            predictor=predictor,
+            min_capacity_per_chunk=self.config.constants.streaming_rate,
+        )
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ShardedSimulator":
@@ -591,25 +676,52 @@ class ShardedSimulator:
         }
 
     # ------------------------------------------------------------------
-    def run(self) -> CatalogResult:
-        """Execute the whole horizon and return the merged result."""
+    # Control-plane hooks (the geo engine overrides these three)
+    # ------------------------------------------------------------------
+    def _bootstrap_capacities(self) -> Dict[int, np.ndarray]:
+        """Initial deployment: expected per-slot rates -> capacities."""
         config = self.config
         rates = config.channel_rates()
         expected = {c: float(r) for c, r in enumerate(rates)}
-        peer_upload = (
+        self._peer_upload = (
             config.upload_distribution().mean()
             if config.mode == "p2p" else None
         )
         decision = self.controller.bootstrap(
-            0.0, expected, peer_upload=peer_upload
+            0.0, expected, peer_upload=self._peer_upload
         )
-        capacities = self._sorted_capacities(decision)
+        return self._sorted_capacities(decision)
+
+    def _reprovision(
+        self, t_end: float, merged: MergedEpoch
+    ) -> Dict[int, np.ndarray]:
+        """One periodic provisioning round on the merged statistics."""
+        config = self.config
+        live_upload = (
+            merged.upload_sum / merged.upload_count
+            if config.mode == "p2p" and merged.upload_count
+            else self._peer_upload
+        )
+        decision = self.controller.run_interval(
+            t_end,
+            peer_upload=live_upload if config.mode == "p2p" else None,
+        )
+        self.vm_cost_series.append(decision.hourly_vm_cost)
+        return self._sorted_capacities(decision)
+
+    def _make_result(self, **kwargs) -> CatalogResult:
+        return CatalogResult(**kwargs)
+
+    # ------------------------------------------------------------------
+    def run(self) -> CatalogResult:
+        """Execute the whole horizon and return the merged result."""
+        config = self.config
+        capacities = self._bootstrap_capacities()
 
         interval = config.interval_seconds
         horizon = config.horizon_seconds
         num_epochs = int(math.ceil(horizon / interval))
         epoch_times: List[float] = []
-        vm_cost_series: List[float] = []
         step_chunks: List[MergedEpoch] = []
         totals = {
             "arrivals": 0, "departures": 0, "retrievals": 0, "unsmooth": 0,
@@ -636,17 +748,7 @@ class ShardedSimulator:
 
             if t_end + 1e-9 >= horizon:
                 break
-            live_upload = (
-                merged.upload_sum / merged.upload_count
-                if config.mode == "p2p" and merged.upload_count
-                else peer_upload
-            )
-            decision = self.controller.run_interval(
-                t_end,
-                peer_upload=live_upload if config.mode == "p2p" else None,
-            )
-            vm_cost_series.append(decision.hourly_vm_cost)
-            capacities = self._sorted_capacities(decision)
+            capacities = self._reprovision(t_end, merged)
 
         times = np.concatenate([m.step_times for m in step_chunks]) \
             if step_chunks else np.empty(0)
@@ -658,7 +760,7 @@ class ShardedSimulator:
             1.0 if users == 0 else smooth / users
             for _, smooth, users in quality_samples
         ])
-        return CatalogResult(
+        return self._make_result(
             config=config,
             times=times,
             cloud_used=np.concatenate([m.cloud_used for m in step_chunks])
@@ -684,12 +786,97 @@ class ShardedSimulator:
                 if totals["retrievals"] else 0.0
             ),
             decisions=list(self.controller.decisions),
-            vm_cost_series=vm_cost_series,
+            vm_cost_series=list(self.vm_cost_series),
             cost_report=self.facility.billing.report(self._now),
             channel_populations=final_channel_populations,
             steps=int(times.size),
             peak_step_events=peak_step_events,
         )
+
+
+class GeoShardedSimulator(ShardedSimulator):
+    """The multi-region catalog engine.
+
+    Shards and the epoch loop are inherited unchanged — a
+    :class:`~repro.workload.catalog.GeoCatalogConfig` presents its
+    (region, channel) pairs as channel *slots*, so every worker-side
+    mechanism (stable traces, lock-step epochs, shard-order merge)
+    applies verbatim, and slot ids are region-major: the merged stats'
+    channel-id sort IS the fixed region-then-channel reduction order.
+
+    Only the control plane differs: each epoch the merged per-slot
+    statistics are grouped by viewer region and fed to the multi-region
+    VM configuration problem (:mod:`repro.geo.allocation`), any region's
+    clusters may serve any region's viewers, the plan's cross-region
+    egress is metered into billing, and its capacity-weighted latency
+    discounts flow into the quality metrics.
+    """
+
+    def __init__(
+        self,
+        config: GeoCatalogConfig,
+        *,
+        jobs: int = 1,
+        predictor: Optional[ArrivalRatePredictor] = None,
+    ) -> None:
+        if not isinstance(config, GeoCatalogConfig):
+            raise TypeError(
+                "GeoShardedSimulator needs a GeoCatalogConfig "
+                "(use geo_catalog_config(...))"
+            )
+        super().__init__(config, jobs=jobs, predictor=predictor)
+
+    def _build_controller(
+        self, predictor: Optional[ArrivalRatePredictor]
+    ) -> GeoProvisioningController:
+        config = self.config
+        return GeoProvisioningController(
+            self._estimator,
+            self.tracker,
+            self.broker,
+            config.geo_topology(),
+            config.sla_terms(),
+            config.slot_region,
+            config.slot_channel,
+            predictor=predictor,
+            exact=config.exact,
+            min_capacity_per_chunk=config.constants.streaming_rate,
+        )
+
+    def _make_result(self, **kwargs) -> GeoCatalogResult:
+        # Decision k capacitates epoch k+1 (the bootstrap capacitates
+        # epoch 1), so the decision list truncated to the epoch count is
+        # exactly the per-epoch in-effect telemetry.
+        decisions = self.controller.decisions
+        epochs = len(kwargs["epoch_times"])
+        return GeoCatalogResult(
+            **kwargs,
+            region_names=list(self.config.region_names),
+            epoch_discounts=[
+                d.mean_discount() for d in decisions[:epochs]
+            ],
+            epoch_remote_fractions=[
+                d.remote_fraction for d in decisions[:epochs]
+            ],
+            epoch_egress_rates=[
+                d.egress_rate_per_hour for d in decisions[:epochs]
+            ],
+        )
+
+
+def make_engine(
+    config: CatalogConfig,
+    *,
+    jobs: int = 1,
+    predictor: Optional[ArrivalRatePredictor] = None,
+) -> ShardedSimulator:
+    """The right engine for the config: geo configs get the multi-region
+    control plane, plain catalogs the single-region one."""
+    cls = (
+        GeoShardedSimulator if isinstance(config, GeoCatalogConfig)
+        else ShardedSimulator
+    )
+    return cls(config, jobs=jobs, predictor=predictor)
 
 
 def run_catalog(
@@ -704,8 +891,10 @@ def run_catalog(
     The environment knob exists so registry/sweep runs can be
     parallelized without the worker count entering the cell identity:
     artifacts stay byte-for-byte comparable across ``jobs`` settings.
+    Garbage values raise a :class:`ValueError` naming the variable;
+    values below 1 are clamped to 1 (serial).
     """
     if jobs is None:
-        jobs = int(os.environ.get("REPRO_CATALOG_JOBS", "1") or "1")
-    with ShardedSimulator(config, jobs=jobs, predictor=predictor) as engine:
+        jobs = _jobs_from_env()
+    with make_engine(config, jobs=jobs, predictor=predictor) as engine:
         return engine.run()

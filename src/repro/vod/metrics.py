@@ -14,7 +14,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["RetrievalRecord", "QualitySample", "QualityTracker"]
+__all__ = [
+    "RetrievalRecord",
+    "QualitySample",
+    "QualityTracker",
+    "latency_adjusted_quality",
+]
 
 DEFAULT_WINDOW_SECONDS = 300.0  # "the past 5 minutes"
 
@@ -197,3 +202,36 @@ class QualityTracker:
             self._per_channel_retrievals.get(channel, 0),
             self._per_channel_unsmooth.get(channel, 0),
         )
+
+
+def latency_adjusted_quality(
+    sample_times: np.ndarray,
+    quality: np.ndarray,
+    epoch_ends: np.ndarray,
+    epoch_discounts: np.ndarray,
+) -> np.ndarray:
+    """Quality samples scaled by each epoch's latency utility discount.
+
+    The geo extension serves part of every region's demand across priced,
+    laggy links; the provisioning plan for an epoch implies a
+    capacity-weighted utility discount ``0.5 ** (latency / half-life)``
+    (see :meth:`repro.geo.region.GeoTopology.utility_discount`).  This
+    maps each raw quality sample to the discount of the epoch it was
+    taken in — epoch ``k`` covers ``(epoch_ends[k-1], epoch_ends[k]]`` —
+    yielding the latency-*effective* streaming quality series.
+    """
+    sample_times = np.asarray(sample_times, dtype=float)
+    quality = np.asarray(quality, dtype=float)
+    epoch_ends = np.asarray(epoch_ends, dtype=float)
+    epoch_discounts = np.asarray(epoch_discounts, dtype=float)
+    if sample_times.shape != quality.shape:
+        raise ValueError("sample_times and quality must align")
+    if epoch_ends.shape != epoch_discounts.shape:
+        raise ValueError("epoch_ends and epoch_discounts must align")
+    if quality.size == 0:
+        return quality.copy()
+    if epoch_ends.size == 0:
+        raise ValueError("need at least one epoch")
+    idx = np.searchsorted(epoch_ends, sample_times, side="left")
+    idx = np.minimum(idx, epoch_ends.size - 1)
+    return quality * epoch_discounts[idx]

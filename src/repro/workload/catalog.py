@@ -60,8 +60,43 @@ CATALOG_VARIANTS = {
     },
 }
 
+#: Named geo topologies for the multi-region catalog engine (the
+#: ``catalog-geo-*`` scenarios and ``repro catalog --topology``).  Each
+#: preset fixes the viewer/serving regions, their time zones (diurnal
+#: peaks shift accordingly), per-region VM price factors on the Table II
+#: clusters, and the pairwise latency / egress pricing the geo allocator
+#: optimizes against.  Defined before the repro imports below for the
+#: same import-cycle reason as CATALOG_VARIANTS.
+GEO_TOPOLOGIES = {
+    "us-eu-ap": {
+        "regions": ("us-east", "eu-west", "ap-south"),
+        "utc_offset_hours": (-5.0, 1.0, 5.5),
+        "price_factors": (1.00, 1.10, 0.85),
+        "latency_ms": {
+            ("us-east", "eu-west"): 80.0,
+            ("us-east", "ap-south"): 220.0,
+            ("eu-west", "ap-south"): 150.0,
+        },
+        "egress_price_per_gb": {
+            ("us-east", "eu-west"): 0.02,
+            ("us-east", "ap-south"): 0.05,
+            ("eu-west", "ap-south"): 0.04,
+        },
+        "latency_halflife_ms": 200.0,
+    },
+    "us-eu": {
+        "regions": ("us-east", "eu-west"),
+        "utc_offset_hours": (-5.0, 1.0),
+        "price_factors": (1.00, 1.10),
+        "latency_ms": {("us-east", "eu-west"): 80.0},
+        "egress_price_per_gb": {("us-east", "eu-west"): 0.02},
+        "latency_halflife_ms": 200.0,
+    },
+}
+
 from repro.cloud.cluster import NFSClusterSpec, VirtualClusterSpec
 from repro.core.sla import SLATerms
+from repro.geo.region import GeoTopology, RegionSpec
 from repro.experiments.config import (
     PAPER,
     PaperConstants,
@@ -84,8 +119,11 @@ from repro.workload.zipf import assign_channel_rates
 __all__ = [
     "ChannelShape",
     "CatalogConfig",
+    "GeoCatalogConfig",
     "CATALOG_VARIANTS",
+    "GEO_TOPOLOGIES",
     "catalog_config",
+    "geo_catalog_config",
     "channel_shapes",
     "channel_sessions",
     "shard_channel_ids",
@@ -195,9 +233,20 @@ class CatalogConfig:
     # Derived structure
     # ------------------------------------------------------------------
     @property
+    def channel_slots(self) -> int:
+        """Size of the engine's channel-id space.
+
+        The single-region catalog simulates one instance per channel;
+        the geo catalog simulates one instance per (region, channel)
+        pair and overrides this.  All engine-side partitioning, tracker
+        sizing and capacity broadcasting runs over slots.
+        """
+        return self.num_channels
+
+    @property
     def effective_shards(self) -> int:
-        """Shard count clamped so every shard owns >= 1 channel."""
-        return min(self.num_shards, self.num_channels)
+        """Shard count clamped so every shard owns >= 1 channel slot."""
+        return min(self.num_shards, self.channel_slots)
 
     def behaviour_matrix(self) -> np.ndarray:
         return default_behaviour_matrix(self.chunks_per_channel)
@@ -332,6 +381,207 @@ def catalog_config(
 
 
 # ----------------------------------------------------------------------
+# The geo catalog: a viewer-region dimension on the slot space
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GeoCatalogConfig(CatalogConfig):
+    """A catalog whose viewers are spread over the regions of a
+    :data:`GEO_TOPOLOGIES` preset.
+
+    Every (region, channel) pair becomes one engine *slot* — its own
+    arrival trace, tracker row and capacity array — with slot id
+    ``region_index * num_channels + channel``, so sorting by slot id is
+    exactly the fixed region-then-channel merge order the determinism
+    contract requires.  A channel's catalog-wide Zipf rate is split
+    across regions by weights drawn from the channel's stable spawn key
+    (``seed/"geo"/"split"/"channel-<c>"``): neither the shard partition
+    nor the worker count perturbs any split, so traces stay byte-stable.
+    Each region's diurnal pattern is shifted by its UTC offset on top of
+    the per-channel phase jitter; a flash crowd stays a *global* event —
+    a hit channel surges in every region at the same wall-clock time.
+
+    Attributes
+    ----------
+    topology:
+        Key into :data:`GEO_TOPOLOGIES`.
+    exact:
+        Solve each epoch's multi-region VM configuration with the exact
+        LP (:func:`repro.geo.allocation.lp_geo_allocation`) instead of
+        the paper-style greedy.  The LP is dense — fine for CI-sized
+        catalogs, prohibitive at acceptance scale.
+    """
+
+    topology: str = "us-eu-ap"
+    exact: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.topology not in GEO_TOPOLOGIES:
+            raise ValueError(
+                f"unknown geo topology {self.topology!r} "
+                f"(presets: {', '.join(sorted(GEO_TOPOLOGIES))})"
+            )
+
+    # -- slot space ----------------------------------------------------
+    @property
+    def preset(self) -> dict:
+        return GEO_TOPOLOGIES[self.topology]
+
+    @property
+    def region_names(self) -> Tuple[str, ...]:
+        return tuple(self.preset["regions"])
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.region_names)
+
+    @property
+    def channel_slots(self) -> int:
+        return self.num_regions * self.num_channels
+
+    def slot_id(self, region_index: int, channel: int) -> int:
+        return region_index * self.num_channels + channel
+
+    def slot_region_index(self, slot: int) -> int:
+        return slot // self.num_channels
+
+    def slot_region(self, slot: int) -> str:
+        return self.region_names[self.slot_region_index(slot)]
+
+    def slot_channel(self, slot: int) -> int:
+        return slot % self.num_channels
+
+    # -- demand structure ----------------------------------------------
+    def catalog_channel_rates(self) -> np.ndarray:
+        """Catalog-wide per-channel Zipf rates (before the region split)."""
+        return assign_channel_rates(
+            self.mean_arrival_rate, self.num_channels, self.zipf_exponent
+        )
+
+    def region_splits(self) -> np.ndarray:
+        """``(num_regions, num_channels)`` demand weights, columns sum 1.
+
+        Channel ``c``'s split is drawn from its own stream (stable spawn
+        key), jittered around uniform so regional audiences differ per
+        channel — the imbalance the cross-region allocator exists for.
+        """
+        weights = np.empty((self.num_regions, self.num_channels))
+        for c in range(self.num_channels):
+            rng = make_rng(self.seed, "geo", "split", f"channel-{c}")
+            draw = 0.5 + rng.random(self.num_regions)
+            weights[:, c] = draw / draw.sum()
+        return weights
+
+    def channel_rates(self) -> np.ndarray:
+        """Mean per-*slot* arrival rates, slot-id order, users/second."""
+        splits = self.region_splits()
+        return (splits * self.catalog_channel_rates()[None, :]).reshape(-1)
+
+    def channels(self) -> List[ChannelSpec]:
+        return make_uniform_channels(
+            self.channel_slots,
+            self.chunks_per_channel,
+            self.constants.streaming_rate,
+            self.constants.chunk_duration,
+            behaviour=self.behaviour_matrix(),
+        )
+
+    # -- cloud substrate -----------------------------------------------
+    def region_cluster_scale(self) -> float:
+        """Table II multiplier per region: the catalog-wide auto-size
+        split evenly, so regional demand imbalance *requires* the
+        cross-region spill the geo allocator provides."""
+        return max(1.0, self._resolved_cluster_scale() / self.num_regions)
+
+    def geo_topology(self) -> GeoTopology:
+        """The solver-facing topology: per-region Table II clusters at
+        the preset's price factors, plus the priced cross links."""
+        preset = self.preset
+        scale = self.region_cluster_scale()
+        regions = []
+        for name, factor in zip(preset["regions"], preset["price_factors"]):
+            clusters = tuple(
+                replace(spec, price_per_hour=spec.price_per_hour * factor)
+                for spec in paper_vm_clusters(self.constants, scale=scale)
+            )
+            regions.append(RegionSpec(name, clusters))
+        return GeoTopology(
+            regions,
+            latency_ms=dict(preset["latency_ms"]),
+            egress_price_per_gb=dict(preset["egress_price_per_gb"]),
+            latency_halflife_ms=float(preset["latency_halflife_ms"]),
+        )
+
+    def vm_clusters(self) -> List[VirtualClusterSpec]:
+        """The facility/billing view: every region's clusters, names
+        prefixed ``<region>:<cluster>`` (the broker and meter need one
+        flat unique namespace)."""
+        topology = self.geo_topology()
+        specs: List[VirtualClusterSpec] = []
+        for region_name in self.region_names:
+            specs.extend(
+                replace(spec, name=f"{region_name}:{spec.name}")
+                for spec in topology.regions[region_name].clusters
+            )
+        return specs
+
+
+def geo_catalog_config(
+    *,
+    topology: str = "us-eu-ap",
+    exact: bool = False,
+    seed: int = 2011,
+    mode: str = "client-server",
+    num_channels: int = 24,
+    chunks_per_channel: int = 8,
+    horizon_hours: float = 2.0,
+    arrival_rate: float = 1.0,
+    target_population: Optional[int] = None,
+    dt: float = 30.0,
+    interval_minutes: float = 15.0,
+    num_shards: int = 6,
+    phase_jitter_hours: float = 0.0,
+    flash_fraction: float = 0.0,
+    flash_hour: float = 1.0,
+    flash_width_hours: float = 0.5,
+    flash_amplitude: float = 4.0,
+    zipf_exponent: float = 0.8,
+    cluster_scale: Optional[float] = None,
+    name: str = "catalog-geo",
+) -> GeoCatalogConfig:
+    """The :class:`GeoCatalogConfig` factory behind the ``catalog-geo-*``
+    scenarios and ``repro catalog --topology`` / ``repro geo``."""
+    config = GeoCatalogConfig(
+        name=name,
+        topology=topology,
+        exact=bool(exact),
+        num_channels=int(num_channels),
+        chunks_per_channel=int(chunks_per_channel),
+        horizon_seconds=float(horizon_hours) * 3600.0,
+        mean_arrival_rate=float(arrival_rate),
+        mode=mode,
+        dt=float(dt),
+        seed=int(seed),
+        zipf_exponent=float(zipf_exponent),
+        interval_seconds=float(interval_minutes) * 60.0,
+        num_shards=int(num_shards),
+        phase_jitter_hours=float(phase_jitter_hours),
+        flash_fraction=float(flash_fraction),
+        flash_hour=float(flash_hour),
+        flash_width_hours=float(flash_width_hours),
+        flash_amplitude=float(flash_amplitude),
+        cluster_scale=cluster_scale,
+    )
+    if target_population is not None:
+        session = config.visits_per_session() * config.constants.chunk_duration
+        config = replace(
+            config, mean_arrival_rate=float(target_population) / session
+        )
+    return config
+
+
+# ----------------------------------------------------------------------
 # Per-channel shapes and traces (stable spawn keys)
 # ----------------------------------------------------------------------
 
@@ -357,7 +607,34 @@ def _channel_shape(config: CatalogConfig, channel_id: int,
 
 
 def channel_shapes(config: CatalogConfig) -> List[ChannelShape]:
-    """Every channel's arrival-process shape, in channel-id order."""
+    """Every channel slot's arrival-process shape, in slot-id order.
+
+    For a plain catalog, slots are channels and each shape is drawn from
+    the channel's own stream.  For a :class:`GeoCatalogConfig`, the
+    *channel-level* draws (phase jitter, flash hit/amplitude) come from
+    the same per-channel streams — so a channel behaves identically in
+    every region — and are then expanded per region: rate × region
+    split, phase + region UTC offset.
+    """
+    if isinstance(config, GeoCatalogConfig):
+        base = [
+            _channel_shape(config, channel, rate)
+            for channel, rate in enumerate(config.catalog_channel_rates())
+        ]
+        splits = config.region_splits()
+        offsets = config.preset["utc_offset_hours"]
+        return [
+            ChannelShape(
+                channel_id=config.slot_id(r, c),
+                mean_rate=float(shape.mean_rate * splits[r, c]),
+                phase_seconds=float(
+                    shape.phase_seconds + offsets[r] * 3600.0
+                ),
+                flash_amplitude=shape.flash_amplitude,
+            )
+            for r in range(config.num_regions)
+            for c, shape in enumerate(base)
+        ]
     rates = config.channel_rates()
     return [
         _channel_shape(config, channel_id, rate)
@@ -423,11 +700,13 @@ def channel_sessions(
 
 
 def shard_channel_ids(config: CatalogConfig, shard_index: int) -> List[int]:
-    """The channels owned by one shard (round-robin over popularity rank).
+    """The channel slots owned by one shard (round-robin over slot id).
 
-    Round-robin balances load: Zipf rank ``r`` goes to shard
-    ``r % effective_shards``, so every shard gets a slice of both head
-    and tail popularity.  The partition depends only on the config, never
+    Round-robin balances load: slot ``s`` goes to shard
+    ``s % effective_shards``, so every shard gets a slice of both head
+    and tail popularity (and, in the geo catalog, of every region —
+    slots are region-major, so consecutive ids cycle through channels
+    within a region).  The partition depends only on the config, never
     on the worker count.
     """
     shards = config.effective_shards
@@ -436,7 +715,7 @@ def shard_channel_ids(config: CatalogConfig, shard_index: int) -> List[int]:
             f"shard index {shard_index} out of range [0, {shards})"
         )
     return [
-        c for c in range(config.num_channels) if c % shards == shard_index
+        c for c in range(config.channel_slots) if c % shards == shard_index
     ]
 
 

@@ -153,6 +153,31 @@ class TestShardedDeterminism:
         explicit = summarize_catalog(run_catalog(config, jobs=1))
         assert from_env == explicit
 
+    def test_run_catalog_env_garbage_named_in_error(self, monkeypatch):
+        """Garbage REPRO_CATALOG_JOBS must fail with a message naming
+        the variable, not a bare int() traceback."""
+        config = small_config(horizon_hours=0.25)
+        monkeypatch.setenv("REPRO_CATALOG_JOBS", "auto")
+        with pytest.raises(ValueError, match="REPRO_CATALOG_JOBS"):
+            run_catalog(config)
+
+    @pytest.mark.parametrize("raw", ["0", "-3"])
+    def test_run_catalog_env_clamped_to_serial(self, raw, monkeypatch):
+        """0/negative worker counts clamp to 1 instead of being passed
+        through (results are jobs-invariant, so serial == correct)."""
+        config = small_config(horizon_hours=0.25)
+        monkeypatch.setenv("REPRO_CATALOG_JOBS", raw)
+        clamped = summarize_catalog(run_catalog(config))
+        monkeypatch.setenv("REPRO_CATALOG_JOBS", "1")
+        serial = summarize_catalog(run_catalog(config))
+        assert clamped == serial
+
+    def test_run_catalog_env_blank_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CATALOG_JOBS", "  ")
+        config = small_config(horizon_hours=0.25)
+        assert summarize_catalog(run_catalog(config)) == \
+            summarize_catalog(run_catalog(config, jobs=1))
+
     def test_reports_carry_only_owned_channels(self):
         config = small_config()
         shard = ChannelShard(config, 1)

@@ -180,3 +180,46 @@ class TestCatalog:
     def test_variant_presets_accepted(self, capsys):
         assert main(self.ARGS + ["--variant", "diurnal"]) == 0
         assert "catalog-diurnal" in capsys.readouterr().out
+
+
+class TestGeoCatalog:
+    ARGS = ["--channels", "4", "--chunks", "3", "--hours", "0.5",
+            "--rate", "0.4", "--shards", "3", "--dt", "60",
+            "--interval-minutes", "10"]
+
+    def test_catalog_topology_switches_to_geo_engine(self, capsys):
+        assert main(["catalog", "--topology", "us-eu-ap"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "catalog-geo-flash" in out
+        assert "regions (topology)" in out
+        assert "egress cost ($/h)" in out
+        assert "latency-adj quality" in out
+
+    def test_geo_subcommand_defaults_to_three_regions(self, capsys):
+        assert main(["geo"] + self.ARGS + ["--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3 (us-eu-ap, greedy)" in out
+
+    def test_geo_exact_solver_reported(self, capsys):
+        assert main(["geo", "--topology", "us-eu", "--exact"]
+                    + self.ARGS) == 0
+        assert "LP (exact)" in capsys.readouterr().out
+
+    def test_geo_metrics_json_includes_geo_fields(self, tmp_path):
+        out_path = tmp_path / "geo.json"
+        assert main(["geo"] + self.ARGS + ["--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["topology"] == "us-eu-ap"
+        assert payload["metrics"]["num_regions"] == 3
+        assert "mean_remote_fraction" in payload["metrics"]
+        assert "egress_cost_per_hour" in payload["metrics"]
+
+    def test_unknown_topology_is_a_usage_error(self, capsys):
+        assert main(["catalog", "--topology", "atlantis"] + self.ARGS) == 2
+        assert "unknown geo topology" in capsys.readouterr().err
+
+    def test_exact_without_topology_is_a_usage_error(self, capsys):
+        """--exact only exists for the geo LP; silently running the
+        single-region greedy instead would drop the user's request."""
+        assert main(["catalog", "--exact"] + self.ARGS) == 2
+        assert "--topology" in capsys.readouterr().err

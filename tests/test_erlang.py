@@ -93,6 +93,36 @@ class TestErlangC:
         for m, a in [(2, 1.0), (5, 4.0), (20, 15.0)]:
             assert erlang_c(m, a) >= erlang_b(m, a)
 
+    def test_saturated_opt_in_returns_one(self):
+        """Capacity probes mid-flash-crowd can legitimately hit a >= m;
+        the opt-in returns the limiting wait probability instead of
+        raising."""
+        assert erlang_c(2, 2.0, saturated=True) == 1.0
+        assert erlang_c(3, 7.5, saturated=True) == 1.0
+        # Below saturation the opt-in changes nothing.
+        assert erlang_c(4, 2.0, saturated=True) == erlang_c(4, 2.0)
+
+    def test_saturated_is_the_continuous_limit(self):
+        """C(m, a) -> 1 as a -> m from below, so returning 1.0 at the
+        boundary is the continuous extension, not an arbitrary value."""
+        for m in (1, 3, 10):
+            assert erlang_c(m, m * (1.0 - 1e-9)) == pytest.approx(1.0)
+            assert erlang_c(m, float(m), saturated=True) == 1.0
+
+    def test_matches_direct_summation(self):
+        """Cross-check the recursion against the textbook closed form
+        C = (a^m / m!) * (m / (m - a)) * p0 for small queues."""
+        for m, a in [(1, 0.4), (2, 1.3), (5, 3.7), (8, 6.0)]:
+            p0 = 1.0 / (
+                sum(a**k / math.factorial(k) for k in range(m))
+                + a**m / (math.factorial(m) * (1.0 - a / m))
+            )
+            direct = a**m / math.factorial(m) * (m / (m - a)) * p0
+            assert erlang_c(m, a) == pytest.approx(direct, rel=1e-12)
+            assert erlang_c(m, a, saturated=True) == pytest.approx(
+                direct, rel=1e-12
+            )
+
     @given(
         m=st.integers(min_value=1, max_value=60),
         frac=st.floats(min_value=0.01, max_value=0.98),

@@ -69,6 +69,64 @@ class TestTopology:
         with pytest.raises(ValueError):
             GeoTopology([east, east], {}, {})
 
+    def test_asymmetric_overrides_both_honored(self):
+        """Explicit (a, b) and (b, a) entries are both kept verbatim —
+        neither direction silently mirrors the other."""
+        east = RegionSpec("east", (cluster("std"),))
+        west = RegionSpec("west", (cluster("std"),))
+        topo = GeoTopology(
+            [east, west],
+            latency_ms={("east", "west"): 80.0, ("west", "east"): 120.0},
+            egress_price_per_gb={
+                ("east", "west"): 0.02, ("west", "east"): 0.07,
+            },
+        )
+        assert topo.latency("east", "west") == 80.0
+        assert topo.latency("west", "east") == 120.0
+        assert topo.egress_price("east", "west") == 0.02
+        assert topo.egress_price("west", "east") == 0.07
+
+    def test_diagonal_latency_override_rejected(self):
+        """An explicit (a, a) latency conflicting with local_latency_ms
+        must not silently win."""
+        east = RegionSpec("east", (cluster("std"),))
+        west = RegionSpec("west", (cluster("std"),))
+        with pytest.raises(ValueError, match="local_latency_ms"):
+            GeoTopology(
+                [east, west],
+                latency_ms={("east", "west"): 80.0, ("east", "east"): 50.0},
+                egress_price_per_gb={("east", "west"): 0.02},
+            )
+        # A diagonal entry that *matches* the default is tolerated.
+        topo = GeoTopology(
+            [east, west],
+            latency_ms={("east", "west"): 80.0, ("east", "east"): 5.0},
+            egress_price_per_gb={("east", "west"): 0.02},
+        )
+        assert topo.latency("east", "east") == 5.0
+
+    def test_diagonal_egress_override_rejected(self):
+        """Intra-region traffic is free by contract; a nonzero (a, a)
+        egress price contradicts it."""
+        east = RegionSpec("east", (cluster("std"),))
+        west = RegionSpec("west", (cluster("std"),))
+        with pytest.raises(ValueError, match="free-intra-region"):
+            GeoTopology(
+                [east, west],
+                latency_ms={("east", "west"): 80.0},
+                egress_price_per_gb={
+                    ("east", "west"): 0.02, ("west", "west"): 0.01,
+                },
+            )
+        topo = GeoTopology(
+            [east, west],
+            latency_ms={("east", "west"): 80.0},
+            egress_price_per_gb={
+                ("east", "west"): 0.02, ("west", "west"): 0.0,
+            },
+        )
+        assert topo.egress_price("west", "west") == 0.0
+
 
 class TestGreedyGeo:
     def test_local_serving_preferred(self):

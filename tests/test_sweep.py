@@ -36,6 +36,30 @@ class TestCellHash:
         with pytest.raises(TypeError, match="JSON-serializable"):
             cell_hash("fig05", {"mode": object()}, 1)
 
+    def test_numpy_scalars_hash_like_python(self):
+        """Grids built with np.arange/np.linspace leak numpy scalars;
+        they must produce the same cell hash (and thus hit the same
+        cached artifacts) as the pure-Python grid."""
+        import numpy as np
+
+        python_grid = {"population": 240, "ratio": 1.5, "flag": True}
+        numpy_grid = {
+            "population": np.int64(240),
+            "ratio": np.float32(1.5),
+            "flag": np.bool_(True),
+        }
+        assert cell_hash("fig05", numpy_grid, 1) == \
+            cell_hash("fig05", python_grid, 1)
+        # np.float64 subclasses float and always worked; pin that too.
+        assert cell_hash("fig05", {"ratio": np.float64(1.5)}, 1) == \
+            cell_hash("fig05", {"ratio": 1.5}, 1)
+        # And numpy seeds via a full round-trip through SweepCell.
+        cell = SweepCell.make(
+            "fig05", {"population": np.int64(240)}, np.int64(7)
+        )
+        assert cell.params == (("population", 240),)
+        assert cell.hash == cell_hash("fig05", {"population": 240}, 7)
+
     def test_cell_make_canonicalizes(self):
         cell = SweepCell.make("fig05", {"b": 2, "a": 1}, 3)
         assert cell.params == (("a", 1), ("b", 2))
