@@ -17,7 +17,7 @@ import pytest
 from conftest import registry_scenario
 from repro.experiments.registry import get, make_predictor
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_closed_loop
+from repro.api import EngineConfig, open_run
 
 # The ``ablation-predictors`` registry entry's grid (one cell per
 # predictor; ``repro sweep ablation-predictors`` runs the same matrix).
@@ -32,7 +32,8 @@ def predictor_results():
         scenario = registry_scenario(
             "fig04", mode="client-server", horizon_hours=horizon
         )
-        results[key] = run_closed_loop(scenario, predictor=make_predictor(key))
+        with open_run(EngineConfig(spec=scenario, predictor=key)) as run:
+            results[key] = run.result()
     return results
 
 

@@ -19,7 +19,7 @@ from conftest import registry_scenario
 from repro.experiments.figures import fig11_quality_by_peer_bandwidth
 from repro.experiments.registry import get
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_closed_loop
+from repro.api import open_run
 
 from repro.p2p.contribution import solve_p2p_channel_capacity
 
@@ -34,7 +34,8 @@ def ratio_results():
         scenario = registry_scenario(
             "fig11", upload_ratio=ratio, horizon_hours=horizon
         )
-        results[ratio] = run_closed_loop(scenario)
+        with open_run(scenario) as run:
+            results[ratio] = run.result()
     return results
 
 

@@ -21,7 +21,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.registry import get
-from repro.experiments.runner import run_closed_loop
+from repro.api import open_run
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -41,13 +41,15 @@ def registry_scenario(name: str, **params):
 @pytest.fixture(scope="session")
 def cs_result():
     """Closed-loop client-server run shared by the benches (fig04 cell)."""
-    return run_closed_loop(registry_scenario("fig04", mode="client-server"))
+    with open_run(registry_scenario("fig04", mode="client-server")) as run:
+        return run.result()
 
 
 @pytest.fixture(scope="session")
 def p2p_result():
     """Closed-loop P2P run shared by the benches (fig04 cell)."""
-    return run_closed_loop(registry_scenario("fig04", mode="p2p"))
+    with open_run(registry_scenario("fig04", mode="p2p")) as run:
+        return run.result()
 
 
 @pytest.fixture(scope="session")

@@ -7,18 +7,19 @@ hour by hour, the measured arrivals, the provisioned cloud bandwidth, the
 actually-used bandwidth, and the streaming quality — making the
 last-interval predictor's lag and the provisioning headroom visible.
 
-It then re-runs the same day with an EWMA predictor to show the extension
-the paper leaves as future work.
+It then re-runs the same day with an EWMA predictor (the registry's
+``ewma`` key, an ``EngineConfig.predictor`` away) to show the extension
+the paper leaves as future work.  Both runs go through ``repro.api`` —
+one typed config, one ``open_run`` call.
 
 Run:  python examples/flash_crowd_provisioning.py
 """
 
 import numpy as np
 
-from repro.core.predictor import EWMAPredictor
+from repro.api import EngineConfig, open_run
 from repro.experiments.config import small_scenario
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_closed_loop
 
 
 def hour_table(result) -> str:
@@ -53,15 +54,17 @@ def main() -> None:
     # cloud enough headroom that the provisioning dynamics stay visible.
     scenario = dataclasses.replace(scenario, cluster_scale=1.0)
     print("One simulated day, last-interval predictor (the paper's rule):\n")
-    base = run_closed_loop(scenario)
+    with open_run(EngineConfig(spec=scenario)) as run:
+        base = run.result()
     print(hour_table(base))
     print(
         f"\n  day average: quality {base.average_quality:.3f}, "
         f"VM cost ${base.mean_vm_cost_per_hour:.2f}/h"
     )
 
-    print("\nSame day, EWMA predictor (beta = 0.4) — smoother scaling:\n")
-    ewma = run_closed_loop(scenario, predictor=EWMAPredictor(beta=0.4))
+    print("\nSame day, EWMA predictor (beta = 0.5) — smoother scaling:\n")
+    with open_run(EngineConfig(spec=scenario, predictor="ewma")) as run:
+        ewma = run.result()
     print(hour_table(ewma))
     print(
         f"\n  day average: quality {ewma.average_quality:.3f}, "

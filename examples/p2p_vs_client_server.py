@@ -12,9 +12,9 @@ Run:  python examples/p2p_vs_client_server.py          (small scale, ~10 s)
 
 import numpy as np
 
+from repro.api import open_run
 from repro.experiments.config import scenario_from_env
 from repro.experiments.reporting import downsample, format_table
-from repro.experiments.runner import run_closed_loop
 
 
 def main() -> None:
@@ -24,7 +24,15 @@ def main() -> None:
         print(f"running {mode} scenario "
               f"({scenario.num_channels} channels, "
               f"{scenario.horizon_seconds / 3600:.0f} h)...")
-        results[mode] = run_closed_loop(scenario)
+        # Stream the provisioning epochs as they complete (repro.api),
+        # then collect the monolithic result for the summary tables.
+        with open_run(scenario) as run:
+            for epoch in run.epochs():
+                print(f"  hour {epoch.t_end / 3600:4.0f}: "
+                      f"{epoch.population:4d} viewers, "
+                      f"{epoch.provisioned_mbps:5.0f} Mbps reserved, "
+                      f"quality {epoch.quality:.3f}")
+            results[mode] = run.result()
 
     cs, p2p = results["client-server"], results["p2p"]
 

@@ -8,7 +8,9 @@ channel with the paper's physical constants:
 2. solve the Jackson-network traffic equations for per-chunk arrival rates;
 3. size every chunk queue so the mean retrieval time is at most T0;
 4. in P2P mode, estimate the peers' rarest-first upload contribution and
-   the cloud supplement.
+   the cloud supplement;
+5. close the loop live: stream a small end-to-end run, epoch by epoch,
+   through ``repro.api`` (the session surface all of the above feeds).
 
 Run:  python examples/quickstart.py
 """
@@ -92,6 +94,28 @@ def main() -> None:
         "\nTakeaway: the same playback target needs far less cloud capacity "
         "once peer upload approaches the streaming rate — the premise of "
         "the paper's P2P + cloud design."
+    )
+
+    # ------------------------------------------------------------------
+    # The closed loop, live: trace -> simulator -> controller -> cloud,
+    # streamed one provisioning epoch at a time through repro.api.
+    # ------------------------------------------------------------------
+    from repro.api import open_run
+    from repro.experiments.config import small_scenario
+
+    print("\nClosed loop (2 simulated hours, p2p, CI scale) via repro.api:")
+    with open_run(small_scenario("p2p", horizon_hours=2.0)) as run:
+        for epoch in run.epochs():
+            print(
+                f"  epoch {epoch.index}/{epoch.epochs_total}: "
+                f"{epoch.arrivals} arrivals, {epoch.population} viewers, "
+                f"{epoch.provisioned_mbps:.0f} Mbps reserved, "
+                f"quality {epoch.quality:.3f}"
+            )
+        result = run.result()
+    print(
+        f"  -> day-fraction average quality {result.average_quality:.3f} "
+        f"at ${result.mean_vm_cost_per_hour:.2f}/h VM spend"
     )
 
 

@@ -153,6 +153,32 @@ def main() -> None:
         "possible, minimizing VM switches during playback (footnote 3)."
     )
 
+    # ------------------------------------------------------------------
+    # The same optimizers inside the closed loop: stream a small catalog
+    # run through repro.api and watch each epoch's VM plan go by.
+    # ------------------------------------------------------------------
+    from repro.api import EngineConfig, open_run
+    from repro.workload.catalog import catalog_config
+
+    config = catalog_config(
+        num_channels=8, chunks_per_channel=4, horizon_hours=0.5,
+        arrival_rate=0.5, num_shards=4, dt=60.0, interval_minutes=10.0,
+    )
+    print("\nLive rental planning (8-channel catalog, repro.api stream):")
+    with open_run(EngineConfig(spec=config)) as run:
+        for epoch in run.epochs():
+            decided = ("replanned" if epoch.decision is not None
+                       and epoch.decision.storage_plan is not None
+                       else "kept")
+            print(f"  epoch {epoch.index}/{epoch.epochs_total}: "
+                  f"{epoch.provisioned_mbps:.0f} Mbps reserved, "
+                  f"vm ${epoch.vm_cost_per_hour:.2f}/h, "
+                  f"storage plan {decided}")
+        result = run.result()
+    report = result.cost_report
+    print(f"  -> billed: ${report.hourly_vm_cost:.2f}/h VMs, "
+          f"${report.hourly_storage_cost * 24:.4f}/day storage")
+
 
 if __name__ == "__main__":
     main()

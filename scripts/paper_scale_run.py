@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.experiments.config import paper_scenario
 from repro.experiments.figures import fig7_bandwidth_vs_channel_size
-from repro.experiments.runner import run_closed_loop
+from repro.api import open_run
 
 
 def main() -> None:
@@ -20,7 +20,8 @@ def main() -> None:
     results = {}
     for mode in ("client-server", "p2p"):
         t0 = time.time()
-        res = run_closed_loop(paper_scenario(mode, horizon_hours=horizon))
+        with open_run(paper_scenario(mode, horizon_hours=horizon)) as run:
+            res = run.result()
         results[mode] = res
         times, quality = res.simulation.quality.quality_series()
         hours = times / 3600

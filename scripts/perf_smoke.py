@@ -8,7 +8,10 @@ provisioning loop, >500k aggregate concurrent users), the
 ``catalog-geo`` headline (the same catalog across 3 regions = 600
 engine slots under the multi-region geo control plane) and one ``repro
 sweep`` cell through the registry execution path, and writes the numbers
-to ``BENCH_kernel.json``:
+to ``BENCH_kernel.json``.  The catalog headlines (and the sweep cell,
+via the registry) execute through ``repro.api`` -- the session surface
+every production caller uses -- so the ``--check`` gate also catches
+regressions introduced by that indirection:
 
 * ``steps_per_sec`` -- timed kernel steps per wall-clock second;
 * ``user_steps_per_sec`` -- steps/sec x mean concurrent population, the
@@ -175,9 +178,12 @@ def time_catalog(jobs: int, seed: int = 2011, *, geo: bool = False) -> dict:
     """Time the sharded catalog engine end to end (controller included).
 
     ``geo=True`` times the multi-region engine instead: same shard
-    mechanics, the geo control plane in the loop.
+    mechanics, the geo control plane in the loop.  Both headlines run
+    through :mod:`repro.api` — the production surface — so the gate
+    also guards the api indirection's overhead.
     """
-    from repro.sim.shard import make_engine, summarize_catalog
+    from repro.api import EngineConfig, open_run
+    from repro.sim.shard import summarize_catalog
     from repro.workload.catalog import CATALOG_VARIANTS, catalog_config, \
         geo_catalog_config
 
@@ -192,8 +198,8 @@ def time_catalog(jobs: int, seed: int = 2011, *, geo: bool = False) -> dict:
             **CATALOG, **CATALOG_VARIANTS["flash"],
         )
     started = time.perf_counter()
-    with make_engine(config, jobs=jobs) as engine:
-        result = engine.run()
+    with open_run(EngineConfig(spec=config, workers=jobs)) as run:
+        result = run.result()
     wall = time.perf_counter() - started
     metrics = summarize_catalog(result)
     steps = result.steps

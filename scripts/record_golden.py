@@ -34,7 +34,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.experiments.config import small_scenario
-from repro.experiments.runner import run_closed_loop
+from repro.api import open_run
 from repro.vod.simulator import VoDSimulator, VoDSystemConfig
 from repro.workload.trace import generate_trace
 
@@ -96,7 +96,8 @@ def kernel_trajectory(mode: str, *, steps: int = 360,
 def closed_loop_trajectory(mode: str) -> dict:
     """Run the full closed loop (controller in the loop) and dump it."""
     scenario = small_scenario(mode, horizon_hours=3.0, seed=2011)
-    result = run_closed_loop(scenario)
+    with open_run(scenario) as run:
+        result = run.result()
     sim = result.simulation
     qt, qv = sim.quality.quality_series()
     return {

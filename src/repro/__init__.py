@@ -31,18 +31,24 @@ Packages
     Geo-distributed extension: regions, latency/egress-priced topology and
     the multi-region allocation optimizers (Section VII future work).
 ``repro.experiments``
-    Paper parameter presets, the closed-loop runner, per-figure series
+    Paper parameter presets, the closed-loop engine, per-figure series
     generators, the scenario registry and the parallel sweep orchestrator
     (Section VI; ``repro scenarios`` / ``repro sweep``).
+``repro.api``
+    The one session-style surface over every engine: ``EngineConfig`` ->
+    ``open_run`` -> a ``Run`` handle that streams per-epoch reports,
+    checkpoints mid-run and resumes byte-identically (docs/api.md).
 
 Quickstart
 ----------
->>> from repro.experiments import small_scenario, run_closed_loop
->>> result = run_closed_loop(small_scenario("p2p", horizon_hours=2))
+>>> from repro.api import open_run
+>>> from repro.experiments import small_scenario
+>>> with open_run(small_scenario("p2p", horizon_hours=2)) as run:
+...     result = run.result()
 >>> 0.0 <= result.average_quality <= 1.0
 True
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

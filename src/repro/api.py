@@ -1,0 +1,420 @@
+"""`repro.api`: the one session-style surface over every engine.
+
+The closed loop (predict -> provision -> serve -> observe) is an
+*online* controller, and this module exposes it that way, uniformly for
+all three engines the repo grew — the single-region closed loop
+(:mod:`repro.experiments.runner`), the sharded catalog and the
+multi-region geo catalog (:mod:`repro.sim.shard`):
+
+* :class:`EngineConfig` — one typed config: the scenario/catalog spec
+  plus ``workers`` as a first-class field (the deprecated
+  ``REPRO_CATALOG_JOBS`` environment variable remains a warned
+  fallback through :func:`resolve_workers`, the single validation
+  path).
+* :func:`open_run` — returns a :class:`Run` handle.  ``run.epochs()``
+  streams one :class:`EpochSnapshot` per provisioning epoch *as it
+  completes* (demand, grants, provisioning decision, quality, cost);
+  ``run.result()`` drains the remainder and returns the exact
+  monolithic artifact the historical entry points produced
+  (``ClosedLoopResult`` / ``CatalogResult`` / ``GeoCatalogResult``).
+* :meth:`Run.checkpoint` / :func:`resume` — persist a mid-run engine
+  and continue it later (or in another process, with a different
+  worker count): the continuation is byte-identical to an
+  uninterrupted run, for any ``workers`` on either side.
+
+Quickstart::
+
+    from repro.api import EngineConfig, open_run
+    from repro.workload.catalog import catalog_config
+
+    cfg = EngineConfig(spec=catalog_config(num_channels=24), workers=4)
+    with open_run(cfg) as run:
+        for epoch in run.epochs():          # streams as epochs complete
+            print(epoch.index, epoch.population, epoch.vm_cost_per_hour)
+            if epoch.index == run.epochs_total // 2:
+                run.checkpoint("halfway.ckpt")
+        result = run.result()               # == the monolithic artifact
+
+    resumed = resume("halfway.ckpt", workers=1)   # byte-identical tail
+    tail_result = resumed.result()
+
+Checkpoints are Python pickles of live engine state: load them only
+from paths you wrote yourself (the standard pickle trust model).
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+import pickle
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro import __version__
+from repro.experiments.config import ScenarioConfig
+from repro.workload.catalog import CatalogConfig, GeoCatalogConfig
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "EngineConfig",
+    "EpochSnapshot",
+    "Engine",
+    "Run",
+    "open_run",
+    "resume",
+    "resolve_workers",
+]
+
+#: Bump when the checkpoint payload layout changes; old checkpoints then
+#: fail loudly instead of being misread.
+CHECKPOINT_SCHEMA = 1
+
+#: The deprecated environment fallback for :attr:`EngineConfig.workers`.
+WORKERS_ENV_VAR = "REPRO_CATALOG_JOBS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The one shared worker-count validation path.
+
+    ``workers`` (when given) is authoritative: it must be integral and
+    is clamped to at least 1 (engine results are worker-invariant, so
+    serial is always a correct interpretation of "0 workers").  When
+    ``None``, the deprecated ``REPRO_CATALOG_JOBS`` environment variable
+    is consulted as a *warned* fallback with the same validation:
+    garbage raises a :class:`ValueError` naming the variable, values
+    below 1 clamp to 1, unset/blank means serial.
+    """
+    if workers is not None:
+        try:
+            # operator.index accepts any integral type but rejects
+            # floats, so workers=2.9 errors instead of truncating to 2
+            # (strings still parse, matching the env var's semantics).
+            count = int(workers) if isinstance(workers, str) \
+                else operator.index(workers)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"workers must be an integer worker count, got {workers!r}"
+            ) from None
+        return max(1, count)
+    raw = os.environ.get(WORKERS_ENV_VAR, "")
+    if not raw.strip():
+        return 1
+    warnings.warn(
+        f"the {WORKERS_ENV_VAR} environment variable is deprecated; set "
+        f"EngineConfig.workers (or pass --jobs / jobs=) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV_VAR} must be an integer worker count, got {raw!r}"
+        ) from None
+    return max(1, jobs)
+
+
+#: Any spec the engines understand (GeoCatalogConfig is a CatalogConfig).
+EngineSpec = Union[ScenarioConfig, CatalogConfig]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One typed configuration for :func:`open_run`.
+
+    Attributes
+    ----------
+    spec:
+        What to simulate: a :class:`~repro.experiments.config.
+        ScenarioConfig` (single-region closed loop), a
+        :class:`~repro.workload.catalog.CatalogConfig` (sharded
+        catalog) or a :class:`~repro.workload.catalog.GeoCatalogConfig`
+        (multi-region catalog).  The engine is chosen from the spec's
+        type — see :attr:`kind`.
+    workers:
+        Worker processes for the sharded engines; results are
+        byte-identical for any value.  ``None`` falls back to the
+        deprecated ``REPRO_CATALOG_JOBS`` environment variable (warned),
+        else 1.  The closed loop is single-process: ``workers`` > 1
+        there is a configuration error.
+    predictor:
+        Optional arrival-rate predictor registry key (e.g. ``"ewma"``;
+        see ``repro.experiments.registry.PREDICTORS``).  ``None`` keeps
+        the paper's last-interval rule.
+    """
+
+    spec: EngineSpec
+    workers: Optional[int] = None
+    predictor: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec, (ScenarioConfig, CatalogConfig)):
+            raise TypeError(
+                "EngineConfig.spec must be a ScenarioConfig, CatalogConfig "
+                f"or GeoCatalogConfig, got {type(self.spec).__name__}"
+            )
+        if self.workers is not None:
+            count = resolve_workers(self.workers)
+            if self.kind == "closed-loop" and count > 1:
+                raise ValueError(
+                    "the closed-loop engine is single-process; "
+                    "workers must be 1 (or None) for a ScenarioConfig spec"
+                )
+
+    @property
+    def kind(self) -> str:
+        """``"closed-loop"``, ``"catalog"`` or ``"geo-catalog"``."""
+        if isinstance(self.spec, GeoCatalogConfig):
+            return "geo-catalog"
+        if isinstance(self.spec, CatalogConfig):
+            return "catalog"
+        return "closed-loop"
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (env fallback applied, validated)."""
+        if self.kind == "closed-loop":
+            return 1
+        return resolve_workers(self.workers)
+
+
+@dataclass(frozen=True)
+class EpochSnapshot:
+    """One provisioning epoch's report, streamed as the epoch completes.
+
+    Bandwidth figures are means over the epoch's simulation steps, in
+    Mbps.  ``vm_cost_per_hour`` is the hourly cost of the plan decided
+    *at this epoch's boundary* (0.0 for the final epoch, where no
+    further plan is made); ``decision`` is the full
+    ``ProvisioningDecision`` / ``GeoProvisioningDecision`` behind it —
+    per-chunk capacity grants, VM targets, storage plan, SLA agreement —
+    or ``None`` at the final boundary.
+    """
+
+    index: int  # 1-based epoch number
+    epochs_total: int
+    t_end: float  # simulated seconds
+    arrivals: int  # this epoch
+    departures: int
+    population: int  # at the epoch boundary
+    peak_population: int  # within the epoch
+    used_mbps: float
+    peer_mbps: float
+    provisioned_mbps: float
+    shortfall_mbps: float
+    quality: float  # mean streaming quality over the epoch's samples
+    vm_cost_per_hour: float
+    decision: Optional[object] = field(default=None, compare=False)
+
+    @property
+    def is_final(self) -> bool:
+        return self.index >= self.epochs_total
+
+
+class Engine:
+    """The protocol every engine behind :func:`open_run` satisfies.
+
+    (Documented as a plain base class rather than ``typing.Protocol`` to
+    keep the 3.9 floor simple; conformance is structural — the concrete
+    engines do not inherit from it.)
+
+    * ``kind`` — ``"closed-loop"`` / ``"catalog"`` / ``"geo-catalog"``.
+    * ``epoch`` / ``epochs_total`` / ``done`` — progress.
+    * ``start()`` — idempotent bootstrap (initial deployment).
+    * ``advance_epoch()`` — run one provisioning epoch, returning the
+      flat payload dict :class:`EpochSnapshot` is built from, or
+      ``None`` once the horizon is reached.
+    * ``result()`` — the monolithic artifact of a drained run.
+    * ``snapshot_state()`` / ``restore_state(state)`` — one picklable
+      object graph for checkpoint/resume.
+    * ``close()`` — release worker processes (idempotent).
+    """
+
+    kind: str
+
+    def start(self) -> None:  # pragma: no cover - protocol stub
+        raise NotImplementedError
+
+    def advance_epoch(self):  # pragma: no cover - protocol stub
+        raise NotImplementedError
+
+    def result(self):  # pragma: no cover - protocol stub
+        raise NotImplementedError
+
+
+def _build_engine(config: EngineConfig):
+    """Construct the engine a config describes (no bootstrap yet)."""
+    predictor = None
+    if config.predictor is not None:
+        from repro.experiments.registry import make_predictor
+
+        predictor = make_predictor(config.predictor)
+    if config.kind == "closed-loop":
+        from repro.experiments.runner import ClosedLoopEngine
+
+        return ClosedLoopEngine(config.spec, predictor=predictor)
+    from repro.sim.shard import make_engine
+
+    return make_engine(
+        config.spec, jobs=config.resolved_workers(), predictor=predictor
+    )
+
+
+class Run:
+    """A session-style handle over one engine run.
+
+    Iterate :meth:`epochs` to stream per-epoch reports; call
+    :meth:`result` for the monolithic artifact (draining any epochs not
+    yet consumed); :meth:`checkpoint` persists the live state at any
+    point between epochs.  The handle is a context manager; closing it
+    tears down worker processes.
+    """
+
+    def __init__(self, engine, config: EngineConfig) -> None:
+        self._engine = engine
+        self.config = config
+
+    # -- progress ------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return self.config.kind
+
+    @property
+    def epoch(self) -> int:
+        """Completed epochs so far."""
+        return self._engine.epoch
+
+    @property
+    def epochs_total(self) -> int:
+        return self._engine.epochs_total
+
+    @property
+    def done(self) -> bool:
+        return self._engine.done
+
+    # -- execution -----------------------------------------------------
+    def epochs(self) -> Iterator[EpochSnapshot]:
+        """Stream the remaining epochs as they complete.
+
+        The iterator is resumable: breaking out and calling
+        :meth:`epochs` again continues from the next unconsumed epoch
+        (the cursor lives in the engine, not the iterator).
+        """
+        total = self.epochs_total
+        while True:
+            payload = self._engine.advance_epoch()
+            if payload is None:
+                return
+            payload = dict(payload)
+            index = payload.pop("epoch")
+            yield EpochSnapshot(index=index, epochs_total=total, **payload)
+
+    def result(self):
+        """Drain any remaining epochs and return the monolithic artifact.
+
+        Byte-identical to the historical ``run_closed_loop`` /
+        ``run_catalog`` results for the same spec, whether or not (and
+        however) the run was streamed, checkpointed or resumed.
+        """
+        while not self._engine.done:
+            if self._engine.advance_epoch() is None:
+                break
+        return self._engine.result()
+
+    # -- checkpointing -------------------------------------------------
+    def checkpoint(self, path: Union[str, os.PathLike]) -> Path:
+        """Persist the live run to ``path`` (atomically; pickle format).
+
+        Valid at any epoch boundary — including before the first epoch
+        (the bootstrap runs first if it has not yet) and after the last.
+        The in-memory run is unaffected and can keep going.
+        """
+        path = Path(path)
+        payload = {
+            "format": "repro-checkpoint",
+            "schema": CHECKPOINT_SCHEMA,
+            "repro_version": __version__,
+            "kind": self.kind,
+            "epoch": self.epoch,
+            "config": self.config,
+            "state": self._engine.snapshot_state(),
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._engine.close()
+
+    def __enter__(self) -> "Run":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Run(kind={self.kind!r}, epoch={self.epoch}/"
+            f"{self.epochs_total}, done={self.done})"
+        )
+
+
+def open_run(
+    config: Union[EngineConfig, EngineSpec],
+    *,
+    workers: Optional[int] = None,
+    predictor: Optional[str] = None,
+) -> Run:
+    """Open a run for a config (the engine is chosen from the spec type).
+
+    A bare :class:`~repro.experiments.config.ScenarioConfig` /
+    :class:`~repro.workload.catalog.CatalogConfig` is accepted and
+    wrapped, with ``workers`` / ``predictor`` as the remaining
+    :class:`EngineConfig` fields.  The engine bootstraps lazily on the
+    first epoch, so opening a run is cheap.
+    """
+    if not isinstance(config, EngineConfig):
+        config = EngineConfig(
+            spec=config, workers=workers, predictor=predictor
+        )
+    elif workers is not None or predictor is not None:
+        raise TypeError(
+            "pass workers/predictor inside the EngineConfig, "
+            "not alongside it"
+        )
+    return Run(_build_engine(config), config)
+
+
+def resume(
+    path: Union[str, os.PathLike],
+    *,
+    workers: Optional[int] = None,
+) -> Run:
+    """Reopen a checkpointed run and continue it.
+
+    ``workers`` optionally overrides the checkpoint's worker count —
+    legal because engine results are byte-identical for any value; a
+    checkpoint written under ``workers=4`` resumes identically under
+    ``workers=1`` and vice versa.  Checkpoints are pickles: only load
+    files you (or something you trust) wrote.
+    """
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    if not isinstance(payload, dict) or \
+            payload.get("format") != "repro-checkpoint":
+        raise ValueError(f"{path} is not a repro checkpoint")
+    if payload.get("schema") != CHECKPOINT_SCHEMA:
+        raise ValueError(
+            f"checkpoint schema {payload.get('schema')!r} is not "
+            f"supported (this version reads schema {CHECKPOINT_SCHEMA})"
+        )
+    config: EngineConfig = payload["config"]
+    if workers is not None:
+        config = replace(config, workers=workers)
+    engine = _build_engine(config)
+    engine.restore_state(payload["state"])
+    return Run(engine, config)

@@ -31,6 +31,13 @@ Commands
     same engine as ``catalog --topology``, defaulting to the three-
     region preset and reporting the region-level economics (remote
     fraction, egress spend, latency-adjusted quality).
+
+Every engine-backed command (``run``, ``catalog``, ``geo``, and sweep
+cells) executes through :mod:`repro.api` — one `EngineConfig` ->
+`open_run` surface; ``catalog``/``geo`` can stream per-epoch reports
+live with ``--stream`` and accept ``--set KEY=VALUE`` overrides for any
+catalog knob (unknown keys fail fast, listing the valid ones).
+``repro --version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -59,10 +66,14 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CloudMedia (ICDCS 2011) reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser("analyze", help="one-channel capacity analysis")
@@ -167,6 +178,16 @@ def _add_catalog_args(parser: argparse.ArgumentParser,
                         help="solve each epoch's geo allocation as an "
                              "exact LP instead of the greedy "
                              "(CI-sized catalogs only)")
+    parser.add_argument("--set", action="append", default=[],
+                        dest="overrides", metavar="KEY=VALUE",
+                        help="override any catalog config knob by its "
+                             "factory name (repeatable; VALUE parsed as "
+                             "JSON, e.g. --set zipf_exponent=1.1); "
+                             "unknown keys fail fast listing the valid "
+                             "ones, and --set wins over the flags")
+    parser.add_argument("--stream", action="store_true",
+                        help="print one line per provisioning epoch as "
+                             "it completes (the repro.api epoch stream)")
     parser.add_argument("--out", default=None,
                         help="optional path for the JSON metrics")
 
@@ -238,7 +259,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_closed_loop  # heavy import
+    from repro.api import open_run  # heavy import
 
     if args.scale == "paper":
         scenario = paper_scenario(args.mode, horizon_hours=args.hours,
@@ -246,7 +267,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         scenario = small_scenario(args.mode, horizon_hours=args.hours,
                                   seed=args.seed)
-    result = run_closed_loop(scenario)
+    with open_run(scenario) as run:
+        result = run.result()
     print(format_table(
         ["metric", "value"],
         [
@@ -369,8 +391,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import SweepError, run_sweep, seed_list
 
     try:
-        registry.get(args.name)
+        spec = registry.get(args.name)
         overrides = _parse_overrides(args.overrides)
+        # Fail fast on unknown --set keys (the KeyError lists the
+        # scenario's valid knobs) before any cell runs or worker spawns.
+        spec.grid_points(overrides)
         seeds = seed_list(args.seeds, base=args.seed_base)
     except (registry.UnknownScenarioError, KeyError, ValueError) as exc:
         print(exc.args[0], file=sys.stderr)
@@ -431,14 +456,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _catalog_knob_names(factory) -> List[str]:
+    """The --set vocabulary of a catalog config factory (its kwargs)."""
+    import inspect
+
+    return [name for name in inspect.signature(factory).parameters
+            if name != "name"]
+
+
 def _cmd_catalog(args: argparse.Namespace) -> int:
     import json
     import time
 
-    from repro.sim.shard import make_engine, summarize_catalog
+    from repro.api import EngineConfig, open_run
+    from repro.sim.shard import summarize_catalog
     from repro.workload.catalog import (
         CATALOG_VARIANTS,
-        GEO_TOPOLOGIES,
         catalog_config,
         geo_catalog_config,
     )
@@ -459,23 +492,47 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
         print("--exact selects the geo LP solver and needs --topology "
               "(or use `repro geo`)", file=sys.stderr)
         return 2
+
+    factory = geo_catalog_config if args.topology is not None \
+        else catalog_config
+    overrides = _parse_overrides(args.overrides)
+    valid = _catalog_knob_names(factory)
+    unknown = sorted(set(overrides) - set(valid))
+    if unknown:
+        # Fail fast before any engine work, naming the valid knobs.
+        print(f"unknown --set key(s) {', '.join(unknown)} "
+              f"(valid: {', '.join(valid)})", file=sys.stderr)
+        return 2
     if args.topology is not None:
-        if args.topology not in GEO_TOPOLOGIES:
-            print(f"unknown geo topology {args.topology!r} "
-                  f"(presets: {', '.join(sorted(GEO_TOPOLOGIES))})",
-                  file=sys.stderr)
-            return 2
-        config = geo_catalog_config(
-            topology=args.topology,
-            exact=args.exact,
-            name=f"catalog-geo-{args.variant}",
-            **knobs,
-        )
+        knobs.update(topology=args.topology, exact=args.exact)
+        knobs.update(overrides)
+        knobs["name"] = f"catalog-geo-{args.variant}"
     else:
-        config = catalog_config(name=f"catalog-{args.variant}", **knobs)
+        knobs.update(overrides)
+        knobs["name"] = f"catalog-{args.variant}"
+    try:
+        # The config dataclasses validate every knob (including a --set
+        # or --topology value the flags let through, e.g. an unknown
+        # topology preset) with a precise message — surface it as the
+        # usage error it is, not a traceback.
+        config = factory(**knobs)
+    except (TypeError, ValueError) as exc:
+        # TypeError covers --set values of the wrong JSON container
+        # type (e.g. --set 'num_shards=[2]'); both are usage errors.
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
     started = time.perf_counter()
-    with make_engine(config, jobs=args.jobs) as engine:
-        result = engine.run()
+    with open_run(EngineConfig(spec=config, workers=args.jobs)) as run:
+        if args.stream:
+            for snap in run.epochs():
+                print(f"  epoch {snap.index:>3}/{snap.epochs_total} "
+                      f"t={snap.t_end / 3600:.2f}h "
+                      f"pop={snap.population} "
+                      f"used={snap.used_mbps:.0f} Mbps "
+                      f"quality={snap.quality:.3f} "
+                      f"vm=${snap.vm_cost_per_hour:.2f}/h")
+        result = run.result()
     wall = time.perf_counter() - started
     metrics = summarize_catalog(result)
     steps_per_sec = result.steps / wall if wall > 0 else float("inf")
@@ -496,10 +553,10 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
         ["VM cost ($/h)", f"{metrics['vm_cost_per_hour']:.2f}"],
     ]
     if args.topology is not None:
-        solver = "LP (exact)" if args.exact else "greedy"
+        solver = "LP (exact)" if config.exact else "greedy"
         rows += [
             ["regions (topology)",
-             f"{metrics['num_regions']} ({args.topology}, {solver})"],
+             f"{metrics['num_regions']} ({config.topology}, {solver})"],
             ["mean remote fraction",
              f"{metrics['mean_remote_fraction']:.3f}"],
             ["egress cost ($/h)",
@@ -519,8 +576,8 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     if args.out is not None:
         payload = {
             "variant": args.variant,
-            "topology": args.topology,
-            "seed": args.seed,
+            "topology": getattr(config, "topology", None),
+            "seed": config.seed,
             "jobs": args.jobs,
             "wall_seconds": wall,
             "steps_per_sec": steps_per_sec,

@@ -29,7 +29,8 @@ from repro.experiments.config import (
     scenario_from_env,
     small_scenario,
 )
-from repro.experiments.runner import ClosedLoopResult, run_closed_loop
+from repro.experiments.runner import ClosedLoopEngine, ClosedLoopResult, \
+    run_closed_loop
 from repro.experiments.registry import (
     ScenarioSpec,
     UnknownScenarioError,
@@ -56,6 +57,7 @@ __all__ = [
     "paper_vm_clusters",
     "scenario_from_env",
     "small_scenario",
+    "ClosedLoopEngine",
     "ClosedLoopResult",
     "run_closed_loop",
     "ScenarioSpec",

@@ -43,7 +43,7 @@ from repro.experiments.config import (
     paper_scenario,
     small_scenario,
 )
-from repro.experiments.runner import ClosedLoopResult, run_closed_loop
+from repro.experiments.runner import ClosedLoopResult
 from repro.experiments.reporting import mbps
 from repro.geo.allocation import GeoVMProblem, greedy_geo_allocation, \
     lp_geo_allocation
@@ -153,12 +153,20 @@ class ScenarioSpec:
 
     def run_cell(self, params: Optional[Mapping] = None, seed: int = 2011
                  ) -> Dict[str, float]:
-        """Execute one cell and return its flat metrics dict."""
+        """Execute one cell and return its flat metrics dict.
+
+        Closed-loop cells execute through :mod:`repro.api` (imported
+        lazily — the api sits above the experiment layer), whose
+        monolithic ``result()`` is byte-identical to the historical
+        runner's.
+        """
         full = self.full_params(params)
         if self.run is not None:
             return self.run(seed=seed, **full)
-        result = run_closed_loop(self.build(seed=seed, **full))
-        return summarize_closed_loop(result)
+        from repro.api import open_run
+
+        with open_run(self.build(seed=seed, **full)) as run:
+            return summarize_closed_loop(run.result())
 
     def grid_points(
         self, overrides: Optional[Mapping[str, object]] = None
@@ -337,9 +345,11 @@ def closed_loop_config(
 def _run_with_predictor(*, seed: int, predictor: str = "last-interval",
                         **params) -> Dict[str, float]:
     """Closed-loop run with the predictor ablation knob applied."""
+    from repro.api import EngineConfig, open_run
+
     config = closed_loop_config(seed=seed, **params)
-    result = run_closed_loop(config, predictor=make_predictor(predictor))
-    return summarize_closed_loop(result)
+    with open_run(EngineConfig(spec=config, predictor=predictor)) as run:
+        return summarize_closed_loop(run.result())
 
 
 # ----------------------------------------------------------------------
@@ -522,23 +532,27 @@ def _run_micro_vm_lifecycle(
 # (repro.sim.shard) under one provisioning loop.
 # ----------------------------------------------------------------------
 
-#: Worker parallelism for catalog cells comes from the environment
-#: (``REPRO_CATALOG_JOBS``), *not* from a cell parameter: the engine is
-#: byte-deterministic in the worker count, so keeping it out of the cell
-#: identity means sweep artifacts are directly comparable no matter how
-#: a run was parallelized.
+#: Worker parallelism for catalog cells stays *outside* the cell
+#: identity: the engine is byte-deterministic in the worker count, so
+#: sweep artifacts are directly comparable no matter how a run was
+#: parallelized.  Cells execute through :mod:`repro.api` with
+#: ``workers=None``, i.e. the deprecated ``REPRO_CATALOG_JOBS``
+#: environment variable still works as a warned fallback (the api's one
+#: shared validation path).
 def _run_catalog_cell(*, seed: int, variant: str = "zipf",
                       **params) -> Dict[str, float]:
-    # Imported lazily: repro.sim.shard builds on the workload/cloud/core
+    # Imported lazily: repro.api builds on the sim/workload/cloud/core
     # layers, so a module-level import here would close an import cycle
     # whichever side loads first.
-    from repro.sim.shard import run_catalog, summarize_catalog
+    from repro.api import open_run
+    from repro.sim.shard import summarize_catalog
     from repro.workload.catalog import catalog_config
 
     overrides = dict(CATALOG_VARIANTS[variant])
     overrides.update(params)
     config = catalog_config(seed=seed, name=f"catalog-{variant}", **overrides)
-    return summarize_catalog(run_catalog(config))
+    with open_run(config) as run:
+        return summarize_catalog(run.result())
 
 
 #: Size/shape knobs shared by the catalog scenarios.  CI-sized defaults;
@@ -562,7 +576,8 @@ def _run_geo_catalog_cell(*, seed: int, variant: str = "zipf",
                           **params) -> Dict[str, float]:
     """A multi-region catalog cell: the sharded engine under the geo
     control plane (lazy imports for the same cycle reason as above)."""
-    from repro.sim.shard import run_catalog, summarize_catalog
+    from repro.api import open_run
+    from repro.sim.shard import summarize_catalog
     from repro.workload.catalog import geo_catalog_config
 
     overrides = dict(CATALOG_VARIANTS[variant])
@@ -570,7 +585,8 @@ def _run_geo_catalog_cell(*, seed: int, variant: str = "zipf",
     config = geo_catalog_config(
         seed=seed, name=f"catalog-geo-{variant}", **overrides
     )
-    return summarize_catalog(run_catalog(config))
+    with open_run(config) as run:
+        return summarize_catalog(run.result())
 
 
 #: The geo catalog's extra knobs on top of the shared catalog sizing:

@@ -1,16 +1,22 @@
-"""The closed-loop experiment runner (trace -> VoD -> controller -> cloud).
+"""The closed-loop experiment engine (trace -> VoD -> controller -> cloud).
 
 This is the simulated counterpart of the paper's testbed deployment: the
 workload trace drives the VoD simulator; the tracker aggregates interval
 statistics; the provisioning controller analyses them, optimizes rentals
 and negotiates with the cloud facility; the granted capacities feed back
 into the simulator for the next interval.
+
+:class:`ClosedLoopEngine` exposes the loop one provisioning interval at
+a time (the :mod:`repro.api` streaming/checkpoint protocol, mirroring
+:class:`repro.sim.shard.ShardedSimulator`); :func:`run_closed_loop` is
+the historical monolithic entry point, kept as a thin deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -25,7 +31,7 @@ from repro.vod.simulator import SimulationResult, VoDSimulator, VoDSystemConfig
 from repro.vod.tracker import TrackingServer
 from repro.workload.trace import Trace, generate_trace
 
-__all__ = ["ClosedLoopResult", "run_closed_loop"]
+__all__ = ["ClosedLoopResult", "ClosedLoopEngine", "run_closed_loop"]
 
 
 @dataclass
@@ -59,6 +65,355 @@ class ClosedLoopResult:
         return np.asarray(self.used_series) * 8.0 / 1e6
 
 
+class _SimulatorClock:
+    """Picklable clock adapter: the facility reads the simulator's time.
+
+    A named class instead of ``lambda: simulator.now`` so the whole
+    control-plane graph pickles for checkpointing.
+    """
+
+    __slots__ = ("simulator",)
+
+    def __init__(self, simulator: VoDSimulator) -> None:
+        self.simulator = simulator
+
+    def __call__(self) -> float:
+        return self.simulator.now
+
+
+class ClosedLoopEngine:
+    """One scenario's closed loop, advanced one interval at a time.
+
+    Construction is lazy: the trace, simulator and control plane are
+    built on the first :meth:`advance_epoch` (or :meth:`start`), so a
+    checkpoint resume can adopt restored state without paying for a
+    trace rebuild.  A fully drained engine's :meth:`result` is
+    byte-identical to the historical ``run_closed_loop`` return.
+
+    Parameters
+    ----------
+    scenario:
+        The scenario preset to run.
+    trace:
+        Optional pre-generated trace (defaults to the scenario's).
+    predictor:
+        Optional predictor override (the predictor ablation uses this);
+        defaults to the paper's last-interval rule.
+    min_capacity_per_chunk:
+        Capacity floor override; defaults to one streaming rate per
+        chunk, which keeps a just-woken channel from starving its first
+        viewers.
+    """
+
+    kind = "closed-loop"
+
+    def __init__(
+        self,
+        scenario: ScenarioConfig,
+        *,
+        trace: Optional[Trace] = None,
+        predictor: Optional[ArrivalRatePredictor] = None,
+        min_capacity_per_chunk: Optional[float] = None,
+    ) -> None:
+        self.scenario = scenario
+        self._trace = trace
+        self._predictor = predictor
+        self._min_capacity_per_chunk = min_capacity_per_chunk
+        self._built = False
+        self._done = False
+        self._epoch = 0
+        # Streaming cursors (not part of the historical result).
+        self._arrivals_prev = 0
+        self._departures_prev = 0
+        self._quality_cursor = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Completed provisioning intervals so far."""
+        return self._epoch
+
+    @property
+    def epochs_total(self) -> int:
+        scenario = self.scenario
+        return int(np.ceil(
+            scenario.horizon_seconds / scenario.constants.interval_seconds
+        ))
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        if self._built:
+            return
+        self._built = True
+        scenario = self.scenario
+        constants = scenario.constants
+        channels = scenario.channels()
+        trace = self._trace
+        if trace is None:
+            trace = generate_trace(scenario.trace_config())
+
+        interval = constants.interval_seconds
+        self.tracker = TrackingServer(
+            num_channels=scenario.num_channels,
+            chunks_per_channel=[ch.num_chunks for ch in channels],
+            interval_seconds=interval,
+        )
+        sim_config = VoDSystemConfig(
+            mode=scenario.mode,
+            dt=scenario.dt,
+            user_rate_cap=constants.vm_bandwidth,
+            seed=scenario.seed,
+        )
+        self.simulator = VoDSimulator(
+            channels, trace, sim_config, tracker=self.tracker
+        )
+        self.facility = CloudFacility(
+            scenario.vm_clusters(),
+            scenario.nfs_clusters(),
+            clock=_SimulatorClock(self.simulator),
+        )
+        self.broker = Broker(self.facility)
+
+        behaviour = scenario.behaviour_matrix()
+        self._estimator = DemandEstimator(
+            scenario.capacity_model(),
+            mode=scenario.mode,
+            prior_matrices={ch.channel_id: behaviour for ch in channels},
+        )
+        floor = (
+            self._min_capacity_per_chunk
+            if self._min_capacity_per_chunk is not None
+            else constants.streaming_rate
+        )
+        self.controller = ProvisioningController(
+            self._estimator,
+            self.tracker,
+            self.broker,
+            scenario.sla_terms(),
+            predictor=self._predictor,
+            min_capacity_per_chunk=floor,
+        )
+
+        self.interval_times: List[float] = []
+        self.used_series: List[float] = []
+        self.peer_series: List[float] = []
+        self.provisioned_series: List[float] = []
+        self.population_series: List[int] = []
+        self.channel_population_series: List[Dict[int, int]] = []
+        self.vm_cost_series: List[float] = []
+        self._samples_before = 0
+
+    def start(self) -> None:
+        """Build the system and apply the bootstrap deployment
+        (idempotent; resumes skip the bootstrap)."""
+        if self._built:
+            return
+        self._build()
+        scenario = self.scenario
+        expected_rates = {
+            ch.channel_id: float(rate)
+            for ch, rate in zip(
+                self.simulator.channels,
+                scenario.trace_config().channel_rates(),
+            )
+        }
+        upload_mean = scenario.upload_distribution().mean()
+        decision = self.controller.bootstrap(
+            0.0, expected_rates, peer_upload=upload_mean
+        )
+        for channel_id, capacity in decision.per_channel_capacity.items():
+            self.simulator.set_cloud_capacity(channel_id, capacity)
+
+    # ------------------------------------------------------------------
+    def advance_epoch(self) -> Optional[Dict[str, Any]]:
+        """Advance one provisioning interval; ``None`` once finished.
+
+        Returns the interval's streaming payload (the flat summary
+        :mod:`repro.api` wraps into an ``EpochSnapshot``).
+        """
+        self.start()
+        if self._done:
+            return None
+        scenario = self.scenario
+        simulator = self.simulator
+        interval = scenario.constants.interval_seconds
+        log = simulator.bandwidth
+
+        k = self._epoch + 1
+        t_end = min(k * interval, scenario.horizon_seconds)
+        simulator.advance_to(t_end)
+
+        # Interval-aggregate bandwidth for the Fig 4 series, straight off
+        # the array-backed log (no per-sample object traffic).
+        window = slice(self._samples_before, len(log))
+        empty = window.start == window.stop
+        self._samples_before = len(log)
+        self.interval_times.append(t_end)
+        self.used_series.append(
+            0.0 if empty else float(np.mean(log.cloud_used[window]))
+        )
+        self.peer_series.append(
+            0.0 if empty else float(np.mean(log.peer_used[window]))
+        )
+        self.provisioned_series.append(
+            0.0 if empty else float(np.mean(log.provisioned[window]))
+        )
+        self.population_series.append(simulator.population())
+        self.channel_population_series.append(simulator.channel_populations())
+        self._epoch = k
+
+        decision = None
+        if t_end >= scenario.horizon_seconds or k >= self.epochs_total:
+            self._done = True
+        else:
+            peer_upload = (
+                simulator.mean_peer_upload()
+                if scenario.mode == "p2p" else None
+            )
+            decision = self.controller.run_interval(
+                t_end, peer_upload=peer_upload
+            )
+            for channel_id, capacity in decision.per_channel_capacity.items():
+                simulator.set_cloud_capacity(channel_id, capacity)
+            self.vm_cost_series.append(decision.hourly_vm_cost)
+        return self._epoch_payload(k, t_end, window, empty, decision)
+
+    def _epoch_payload(
+        self, k: int, t_end: float, window: slice, empty: bool, decision,
+    ) -> Dict[str, Any]:
+        simulator = self.simulator
+        log = simulator.bandwidth
+
+        def mean_mbps(series: np.ndarray) -> float:
+            return 0.0 if empty else float(np.mean(series[window])) * 8.0 / 1e6
+
+        samples = simulator.quality.samples[self._quality_cursor:]
+        self._quality_cursor = len(simulator.quality.samples)
+        ratios = [
+            1.0 if s.total_users == 0 else s.total_smooth / s.total_users
+            for s in samples
+        ]
+        arrivals = simulator.arrivals - self._arrivals_prev
+        departures = simulator.departures - self._departures_prev
+        self._arrivals_prev = simulator.arrivals
+        self._departures_prev = simulator.departures
+        population = self.population_series[-1]
+        return {
+            "epoch": k,
+            "t_end": float(t_end),
+            "arrivals": int(arrivals),
+            "departures": int(departures),
+            "population": int(population),
+            # The fluid loop only samples population at interval
+            # boundaries, so the boundary value doubles as the peak.
+            "peak_population": int(population),
+            "used_mbps": mean_mbps(log.cloud_used),
+            "peer_mbps": mean_mbps(log.peer_used),
+            "provisioned_mbps": mean_mbps(log.provisioned),
+            "shortfall_mbps": mean_mbps(log.shortfall),
+            "quality": float(np.mean(ratios)) if ratios else 1.0,
+            "vm_cost_per_hour": (
+                float(decision.hourly_vm_cost) if decision is not None else 0.0
+            ),
+            "decision": decision,
+        }
+
+    # ------------------------------------------------------------------
+    def result(self) -> ClosedLoopResult:
+        """The monolithic result of the (fully drained) run."""
+        if not self._done:
+            raise RuntimeError(
+                "the run is not finished; drain advance_epoch() (or use "
+                "run()) before asking for the result"
+            )
+        simulator = self.simulator
+        return ClosedLoopResult(
+            scenario=self.scenario,
+            simulation=simulator.result(),
+            decisions=self.controller.decisions,
+            cost_report=self.facility.billing.report(simulator.now),
+            interval_times=self.interval_times,
+            provisioned_series=self.provisioned_series,
+            used_series=self.used_series,
+            peer_series=self.peer_series,
+            population_series=self.population_series,
+            channel_population_series=self.channel_population_series,
+            vm_cost_series=self.vm_cost_series,
+        )
+
+    def run(self) -> ClosedLoopResult:
+        """Execute the whole horizon and return the monolithic result."""
+        while self.advance_epoch() is not None:
+            pass
+        return self.result()
+
+    def close(self) -> None:
+        """Nothing to tear down (kept for engine-protocol symmetry)."""
+
+    def __enter__(self) -> "ClosedLoopEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (repro.api's checkpoint()/resume())
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """One picklable object graph capturing the whole run."""
+        self.start()
+        return {
+            "epoch": self._epoch,
+            "done": self._done,
+            "samples_before": self._samples_before,
+            "arrivals_prev": self._arrivals_prev,
+            "departures_prev": self._departures_prev,
+            "quality_cursor": self._quality_cursor,
+            "simulator": self.simulator,
+            "tracker": self.tracker,
+            "facility": self.facility,
+            "broker": self.broker,
+            "estimator": self._estimator,
+            "controller": self.controller,
+            "interval_times": self.interval_times,
+            "used_series": self.used_series,
+            "peer_series": self.peer_series,
+            "provisioned_series": self.provisioned_series,
+            "population_series": self.population_series,
+            "channel_population_series": self.channel_population_series,
+            "vm_cost_series": self.vm_cost_series,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a :meth:`snapshot_state` graph (before any epoch ran)."""
+        if self._built:
+            raise RuntimeError("can only restore into a fresh engine")
+        self._built = True
+        self._epoch = state["epoch"]
+        self._done = state["done"]
+        self._samples_before = state["samples_before"]
+        self._arrivals_prev = state["arrivals_prev"]
+        self._departures_prev = state["departures_prev"]
+        self._quality_cursor = state["quality_cursor"]
+        self.simulator = state["simulator"]
+        self.tracker = state["tracker"]
+        self.facility = state["facility"]
+        self.broker = state["broker"]
+        self._estimator = state["estimator"]
+        self.controller = state["controller"]
+        self.interval_times = state["interval_times"]
+        self.used_series = state["used_series"]
+        self.peer_series = state["peer_series"]
+        self.provisioned_series = state["provisioned_series"]
+        self.population_series = state["population_series"]
+        self.channel_population_series = state["channel_population_series"]
+        self.vm_cost_series = state["vm_cost_series"]
+
+
 def run_closed_loop(
     scenario: ScenarioConfig,
     *,
@@ -66,133 +421,25 @@ def run_closed_loop(
     predictor: Optional[ArrivalRatePredictor] = None,
     min_capacity_per_chunk: Optional[float] = None,
 ) -> ClosedLoopResult:
-    """Run one scenario end to end.
+    """Deprecated shim: run one scenario end to end.
 
-    Parameters
-    ----------
-    trace:
-        Optional pre-generated trace (defaults to the scenario's).
-    predictor:
-        Optional predictor override (the predictor ablation uses this);
-        defaults to the paper's last-interval rule.
-    min_capacity_per_chunk:
-        Capacity floor override; defaults to one streaming rate per chunk,
-        which keeps a just-woken channel from starving its first viewers.
+    .. deprecated:: 1.2
+        Use :func:`repro.api.open_run` with an
+        :class:`repro.api.EngineConfig` — the run streams per-epoch
+        reports and can be checkpointed, and ``result()`` returns this
+        same :class:`ClosedLoopResult`.  Code needing a custom trace or
+        predictor *instance* can construct :class:`ClosedLoopEngine`
+        directly.
     """
-    constants = scenario.constants
-    channels = scenario.channels()
-    if trace is None:
-        trace = generate_trace(scenario.trace_config())
-
-    interval = constants.interval_seconds
-    tracker = TrackingServer(
-        num_channels=scenario.num_channels,
-        chunks_per_channel=[ch.num_chunks for ch in channels],
-        interval_seconds=interval,
+    warnings.warn(
+        "run_closed_loop() is deprecated; use repro.api.open_run("
+        "EngineConfig(spec=scenario)) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    sim_config = VoDSystemConfig(
-        mode=scenario.mode,
-        dt=scenario.dt,
-        user_rate_cap=constants.vm_bandwidth,
-        seed=scenario.seed,
-    )
-    simulator = VoDSimulator(channels, trace, sim_config, tracker=tracker)
-
-    facility = CloudFacility(
-        scenario.vm_clusters(),
-        scenario.nfs_clusters(),
-        clock=lambda: simulator.now,
-    )
-    broker = Broker(facility)
-
-    behaviour = scenario.behaviour_matrix()
-    estimator = DemandEstimator(
-        scenario.capacity_model(),
-        mode=scenario.mode,
-        prior_matrices={ch.channel_id: behaviour for ch in channels},
-    )
-    floor = (
-        min_capacity_per_chunk
-        if min_capacity_per_chunk is not None
-        else constants.streaming_rate
-    )
-    controller = ProvisioningController(
-        estimator,
-        tracker,
-        broker,
-        scenario.sla_terms(),
+    return ClosedLoopEngine(
+        scenario,
+        trace=trace,
         predictor=predictor,
-        min_capacity_per_chunk=floor,
-    )
-
-    # ------------------------------------------------------------------
-    # Bootstrap deployment from the expected (empirical) channel rates.
-    # ------------------------------------------------------------------
-    expected_rates = {
-        ch.channel_id: float(rate)
-        for ch, rate in zip(channels, scenario.trace_config().channel_rates())
-    }
-    upload_mean = scenario.upload_distribution().mean()
-    decision = controller.bootstrap(0.0, expected_rates, peer_upload=upload_mean)
-    for channel_id, capacity in decision.per_channel_capacity.items():
-        simulator.set_cloud_capacity(channel_id, capacity)
-
-    # ------------------------------------------------------------------
-    # Periodic provisioning loop.
-    # ------------------------------------------------------------------
-    interval_times: List[float] = []
-    used_series: List[float] = []
-    peer_series: List[float] = []
-    provisioned_series: List[float] = []
-    population_series: List[int] = []
-    channel_population_series: List[Dict[int, int]] = []
-    vm_cost_series: List[float] = []
-
-    num_intervals = int(np.ceil(scenario.horizon_seconds / interval))
-    samples_before = 0
-    log = simulator.bandwidth
-    for k in range(1, num_intervals + 1):
-        t_end = min(k * interval, scenario.horizon_seconds)
-        simulator.advance_to(t_end)
-
-        # Interval-aggregate bandwidth for the Fig 4 series, straight off
-        # the array-backed log (no per-sample object traffic).
-        window = slice(samples_before, len(log))
-        empty = window.start == window.stop
-        samples_before = len(log)
-        interval_times.append(t_end)
-        used_series.append(
-            0.0 if empty else float(np.mean(log.cloud_used[window]))
-        )
-        peer_series.append(
-            0.0 if empty else float(np.mean(log.peer_used[window]))
-        )
-        provisioned_series.append(
-            0.0 if empty else float(np.mean(log.provisioned[window]))
-        )
-        population_series.append(simulator.population())
-        channel_population_series.append(simulator.channel_populations())
-
-        if t_end >= scenario.horizon_seconds:
-            break
-        peer_upload = (
-            simulator.mean_peer_upload() if scenario.mode == "p2p" else None
-        )
-        decision = controller.run_interval(t_end, peer_upload=peer_upload)
-        for channel_id, capacity in decision.per_channel_capacity.items():
-            simulator.set_cloud_capacity(channel_id, capacity)
-        vm_cost_series.append(decision.hourly_vm_cost)
-
-    return ClosedLoopResult(
-        scenario=scenario,
-        simulation=simulator.result(),
-        decisions=controller.decisions,
-        cost_report=facility.billing.report(simulator.now),
-        interval_times=interval_times,
-        provisioned_series=provisioned_series,
-        used_series=used_series,
-        peer_series=peer_series,
-        population_series=population_series,
-        channel_population_series=channel_population_series,
-        vm_cost_series=vm_cost_series,
-    )
+        min_capacity_per_chunk=min_capacity_per_chunk,
+    ).run()

@@ -15,7 +15,15 @@ seeds or grid values and only the new cells run.
 Only ``(scenario name, params, seed)`` triples cross the process
 boundary — each worker re-imports the registry and resolves the scenario
 locally, so no callables are pickled and results are deterministic for a
-given seed regardless of the number of workers.
+given seed regardless of the number of workers.  Cells themselves
+execute their engines through :mod:`repro.api` (see
+``ScenarioSpec.run_cell``), so the sweep, the CLI and library callers
+all exercise one surface.
+
+Unknown override keys fail fast: :func:`run_sweep` expands and validates
+every cell (``ScenarioSpec.grid_points`` raises a :class:`KeyError`
+listing the scenario's valid knobs) *before* any cell executes or any
+worker process spawns.
 """
 
 from __future__ import annotations

@@ -92,6 +92,16 @@ class GeoProvisioningDecision:
             acc += z * self.region_discounts.get(viewer, 1.0)
         return acc / total
 
+    def epoch_telemetry(self) -> Dict[str, float]:
+        """The per-epoch geo series entries this decision contributes
+        (consumed by the engine's result assembly and by
+        :class:`repro.api.EpochSnapshot` streaming consumers)."""
+        return {
+            "discount": float(self.mean_discount()),
+            "remote_fraction": float(self.remote_fraction),
+            "egress_rate_per_hour": float(self.egress_rate_per_hour),
+        }
+
 
 class GeoProvisioningController:
     """Closes the provisioning loop across regions.

@@ -23,10 +23,14 @@ from repro.sim.rng import RandomStreams, make_rng
 _SHARD_EXPORTS = (
     "CatalogResult",
     "ChannelShard",
+    "EpochClock",
     "EpochReport",
+    "GeoCatalogResult",
+    "GeoShardedSimulator",
     "MergedEpoch",
     "ShardedSimulator",
     "ShardEngineError",
+    "make_engine",
     "merge_epoch_reports",
     "run_catalog",
     "summarize_catalog",
@@ -49,10 +53,14 @@ __all__ = [
     "make_rng",
     "CatalogResult",
     "ChannelShard",
+    "EpochClock",
     "EpochReport",
+    "GeoCatalogResult",
+    "GeoShardedSimulator",
     "MergedEpoch",
     "ShardedSimulator",
     "ShardEngineError",
+    "make_engine",
     "merge_epoch_reports",
     "run_catalog",
     "summarize_catalog",

@@ -29,16 +29,25 @@ the worker count**:
 
 ``tests/test_catalog_engine.py`` pins this down with a jobs-1-vs-4
 byte-identity test and a merge-permutation property test.
+
+The engine runs one epoch at a time (:meth:`ShardedSimulator.
+advance_epoch`), which :mod:`repro.api` streams as ``EpochSnapshot``\\ s
+and checkpoints between (:meth:`ShardedSimulator.snapshot_state` /
+``restore_state`` — worker shard state is gathered/reinjected over the
+process boundary); ``run()`` is the drain-everything convenience and
+byte-identical to the historical monolithic loop.
+``tests/test_api.py`` pins the streamed-vs-monolithic and
+checkpoint/resume byte-parity.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing as mp
-import os
 import traceback
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,6 +71,7 @@ from repro.workload.catalog import (
 
 __all__ = [
     "ChannelShard",
+    "EpochClock",
     "EpochReport",
     "MergedEpoch",
     "CatalogResult",
@@ -74,6 +84,27 @@ __all__ = [
     "run_catalog",
     "summarize_catalog",
 ]
+
+
+class EpochClock:
+    """Picklable simulated-time source shared with the billing meter.
+
+    The engine advances ``now`` at every epoch boundary; the cloud
+    facility reads it through ``__call__``.  A plain attribute-holding
+    callable (rather than a closure over the engine) keeps the whole
+    control-plane state graph picklable for checkpointing.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EpochClock({self.now})"
 
 
 # ----------------------------------------------------------------------
@@ -322,16 +353,29 @@ def merge_epoch_reports(reports: Sequence[EpochReport]) -> MergedEpoch:
 # Worker processes
 # ----------------------------------------------------------------------
 
-def _worker_main(conn, config: CatalogConfig,
-                 shard_indices: List[int]) -> None:
-    """Long-lived worker: build the owned shards once, serve epochs."""
+def _worker_main(conn, config: CatalogConfig, shard_indices: List[int],
+                 shard_states: Optional[List[ChannelShard]] = None) -> None:
+    """Long-lived worker: build (or adopt) the owned shards, serve epochs.
+
+    ``shard_states`` carries checkpointed :class:`ChannelShard` objects
+    into the worker on resume (they arrive pickled through the process
+    spawn), skipping the trace rebuild.  Besides epochs, the worker
+    answers ``("snapshot",)`` with its current shards — the parent-side
+    checkpoint gathers them without interrupting the run.
+    """
     try:
-        shards = [ChannelShard(config, i) for i in shard_indices]
+        if shard_states is not None:
+            shards = shard_states
+        else:
+            shards = [ChannelShard(config, i) for i in shard_indices]
         conn.send(("ready", shard_indices))
         while True:
             message = conn.recv()
             if message[0] == "stop":
                 break
+            if message[0] == "snapshot":
+                conn.send(("ok", shards))
+                continue
             _, t_end, capacities = message
             reports = []
             for shard in shards:
@@ -351,21 +395,6 @@ def _worker_main(conn, config: CatalogConfig,
 
 class ShardEngineError(RuntimeError):
     """A shard worker died or reported an exception."""
-
-
-def _jobs_from_env() -> int:
-    """Worker count from ``REPRO_CATALOG_JOBS`` (validated, clamped >= 1)."""
-    raw = os.environ.get("REPRO_CATALOG_JOBS", "")
-    if not raw.strip():
-        return 1
-    try:
-        jobs = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_CATALOG_JOBS must be an integer worker count, "
-            f"got {raw!r}"
-        ) from None
-    return max(1, jobs)
 
 
 # ----------------------------------------------------------------------
@@ -519,8 +548,36 @@ def summarize_catalog(result: CatalogResult) -> Dict[str, float]:
 # The engine
 # ----------------------------------------------------------------------
 
+@dataclass
+class _CatalogRunState:
+    """Everything one in-flight catalog run has accumulated so far.
+
+    Kept as one picklable object so a checkpoint is exactly this state
+    plus the control-plane objects and the shard simulators.
+    """
+
+    capacities: Dict[int, np.ndarray]
+    num_epochs: int
+    epoch: int = 0
+    done: bool = False
+    epoch_times: List[float] = field(default_factory=list)
+    step_chunks: List[MergedEpoch] = field(default_factory=list)
+    arrivals: int = 0
+    departures: int = 0
+    retrievals: int = 0
+    unsmooth: int = 0
+    sojourn_sum: float = 0.0
+    peak_step_events: int = 0
+    channel_populations: Dict[int, int] = field(default_factory=dict)
+
+
 class ShardedSimulator:
     """Lock-step epochs over channel shards + one provisioning loop.
+
+    The engine advances one provisioning epoch at a time
+    (:meth:`advance_epoch`), which is what :mod:`repro.api` streams;
+    :meth:`run` is the drain-everything convenience and produces results
+    byte-identical to the historical monolithic loop.
 
     Parameters
     ----------
@@ -533,6 +590,8 @@ class ShardedSimulator:
         Optional arrival-rate predictor override for the controller.
     """
 
+    kind = "catalog"
+
     def __init__(
         self,
         config: CatalogConfig,
@@ -542,9 +601,11 @@ class ShardedSimulator:
     ) -> None:
         self.config = config
         self.jobs = max(1, min(int(jobs), config.effective_shards))
-        self._now = 0.0
+        self._clock = EpochClock(0.0)
         self._peer_upload: Optional[float] = None
         self.vm_cost_series: List[float] = []
+        self._run_state: Optional[_CatalogRunState] = None
+        self._restored_shards: Optional[List[ChannelShard]] = None
 
         self.tracker = TrackingServer(
             num_channels=config.channel_slots,
@@ -555,7 +616,7 @@ class ShardedSimulator:
         self.facility = CloudFacility(
             config.vm_clusters(),
             config.nfs_clusters(),
-            clock=lambda: self._now,
+            clock=self._clock,
         )
         self.broker = Broker(self.facility)
         self._estimator = DemandEstimator(
@@ -583,6 +644,11 @@ class ShardedSimulator:
             predictor=predictor,
             min_capacity_per_chunk=self.config.constants.streaming_rate,
         )
+
+    @property
+    def _now(self) -> float:
+        """Current control-plane time (the epoch clock's reading)."""
+        return self._clock.now
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ShardedSimulator":
@@ -617,8 +683,12 @@ class ShardedSimulator:
             return
         self._started = True
         shards = self.config.effective_shards
+        restored = self._restored_shards
+        self._restored_shards = None
         if self.jobs <= 1:
-            self._shards = [ChannelShard(self.config, i) for i in range(shards)]
+            self._shards = restored if restored is not None else [
+                ChannelShard(self.config, i) for i in range(shards)
+            ]
             return
         assignments = [
             [i for i in range(shards) if i % self.jobs == w]
@@ -626,9 +696,12 @@ class ShardedSimulator:
         ]
         for owned in assignments:
             parent_conn, child_conn = mp.Pipe()
+            owned_states = (
+                [restored[i] for i in owned] if restored is not None else None
+            )
             worker = mp.Process(
                 target=_worker_main,
-                args=(child_conn, self.config, owned),
+                args=(child_conn, self.config, owned, owned_states),
                 daemon=False,
             )
             worker.start()
@@ -713,43 +786,120 @@ class ShardedSimulator:
         return CatalogResult(**kwargs)
 
     # ------------------------------------------------------------------
-    def run(self) -> CatalogResult:
-        """Execute the whole horizon and return the merged result."""
+    # Epoch-wise execution (the repro.api streaming protocol)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bootstrap the run (idempotent): initial deployment + state."""
+        if self._run_state is not None:
+            return
         config = self.config
-        capacities = self._bootstrap_capacities()
+        self._run_state = _CatalogRunState(
+            capacities=self._bootstrap_capacities(),
+            num_epochs=int(
+                math.ceil(config.horizon_seconds / config.interval_seconds)
+            ),
+        )
 
+    @property
+    def epoch(self) -> int:
+        """Completed epochs so far (0 before the first)."""
+        return self._run_state.epoch if self._run_state is not None else 0
+
+    @property
+    def epochs_total(self) -> int:
+        config = self.config
+        return int(math.ceil(config.horizon_seconds / config.interval_seconds))
+
+    @property
+    def done(self) -> bool:
+        return self._run_state is not None and self._run_state.done
+
+    def advance_epoch(self) -> Optional[Dict[str, Any]]:
+        """Run one lock-step epoch; ``None`` once the horizon is reached.
+
+        Returns the epoch's streaming payload (the flat summary
+        :mod:`repro.api` wraps into an ``EpochSnapshot``).  The sequence
+        of operations is exactly the historical monolithic loop's, so a
+        fully drained engine yields byte-identical results.
+        """
+        self.start()
+        state = self._run_state
+        config = self.config
+        if state.done:
+            return None
         interval = config.interval_seconds
         horizon = config.horizon_seconds
-        num_epochs = int(math.ceil(horizon / interval))
-        epoch_times: List[float] = []
-        step_chunks: List[MergedEpoch] = []
-        totals = {
-            "arrivals": 0, "departures": 0, "retrievals": 0, "unsmooth": 0,
+        k = state.epoch + 1
+        t_end = min(k * interval, horizon)
+        merged = merge_epoch_reports(
+            self._advance_all(t_end, state.capacities)
+        )
+        self._clock.now = t_end
+        state.epoch = k
+        state.epoch_times.append(t_end)
+        state.step_chunks.append(merged)
+        for stats in merged.stats:
+            self.tracker.absorb(stats)
+        state.arrivals += merged.arrivals
+        state.departures += merged.departures
+        state.retrievals += merged.retrievals
+        state.unsmooth += merged.unsmooth
+        state.sojourn_sum += merged.sojourn_sum
+        state.peak_step_events = max(
+            state.peak_step_events, merged.peak_step_events
+        )
+        state.channel_populations = merged.channel_populations
+
+        decision = None
+        if t_end + 1e-9 >= horizon or k >= state.num_epochs:
+            state.done = True
+        else:
+            state.capacities = self._reprovision(t_end, merged)
+            decision = self.controller.decisions[-1]
+        return self._epoch_payload(k, t_end, merged, decision)
+
+    def _epoch_payload(
+        self, k: int, t_end: float, merged: MergedEpoch, decision,
+    ) -> Dict[str, Any]:
+        """Flat per-epoch summary for streaming consumers."""
+        def mean_mbps(series: np.ndarray) -> float:
+            return float(series.mean()) * 8.0 / 1e6 if series.size else 0.0
+
+        ratios = [
+            1.0 if users == 0 else smooth / users
+            for _, smooth, users in merged.quality_samples
+        ]
+        return {
+            "epoch": k,
+            "t_end": float(t_end),
+            "arrivals": int(merged.arrivals),
+            "departures": int(merged.departures),
+            "population": (
+                int(merged.populations[-1]) if merged.populations.size else 0
+            ),
+            "peak_population": (
+                int(merged.populations.max()) if merged.populations.size else 0
+            ),
+            "used_mbps": mean_mbps(merged.cloud_used),
+            "peer_mbps": mean_mbps(merged.peer_used),
+            "provisioned_mbps": mean_mbps(merged.provisioned),
+            "shortfall_mbps": mean_mbps(merged.shortfall),
+            "quality": float(np.mean(ratios)) if ratios else 1.0,
+            "vm_cost_per_hour": (
+                float(decision.hourly_vm_cost) if decision is not None else 0.0
+            ),
+            "decision": decision,
         }
-        sojourn_sum = 0.0
-        peak_step_events = 0
-        final_channel_populations: Dict[int, int] = {}
 
-        for k in range(1, num_epochs + 1):
-            t_end = min(k * interval, horizon)
-            merged = merge_epoch_reports(self._advance_all(t_end, capacities))
-            self._now = t_end
-            epoch_times.append(t_end)
-            step_chunks.append(merged)
-            for stats in merged.stats:
-                self.tracker.absorb(stats)
-            totals["arrivals"] += merged.arrivals
-            totals["departures"] += merged.departures
-            totals["retrievals"] += merged.retrievals
-            totals["unsmooth"] += merged.unsmooth
-            sojourn_sum += merged.sojourn_sum
-            peak_step_events = max(peak_step_events, merged.peak_step_events)
-            final_channel_populations = merged.channel_populations
-
-            if t_end + 1e-9 >= horizon:
-                break
-            capacities = self._reprovision(t_end, merged)
-
+    def result(self) -> CatalogResult:
+        """The merged result of the (fully drained) run."""
+        if self._run_state is None or not self._run_state.done:
+            raise RuntimeError(
+                "the run is not finished; drain advance_epoch() (or use "
+                "run()) before asking for the result"
+            )
+        state = self._run_state
+        step_chunks = state.step_chunks
         times = np.concatenate([m.step_times for m in step_chunks]) \
             if step_chunks else np.empty(0)
         populations = np.concatenate([m.populations for m in step_chunks]) \
@@ -761,7 +911,7 @@ class ShardedSimulator:
             for _, smooth, users in quality_samples
         ])
         return self._make_result(
-            config=config,
+            config=self.config,
             times=times,
             cloud_used=np.concatenate([m.cloud_used for m in step_chunks])
             if step_chunks else np.empty(0),
@@ -774,24 +924,89 @@ class ShardedSimulator:
             populations=populations,
             quality_times=quality_times,
             quality=quality,
-            epoch_times=epoch_times,
-            arrivals=totals["arrivals"],
-            departures=totals["departures"],
+            epoch_times=list(state.epoch_times),
+            arrivals=state.arrivals,
+            departures=state.departures,
             final_population=int(populations[-1]) if populations.size else 0,
             peak_population=int(populations.max()) if populations.size else 0,
-            total_retrievals=totals["retrievals"],
-            unsmooth_retrievals=totals["unsmooth"],
+            total_retrievals=state.retrievals,
+            unsmooth_retrievals=state.unsmooth,
             mean_sojourn=(
-                sojourn_sum / totals["retrievals"]
-                if totals["retrievals"] else 0.0
+                state.sojourn_sum / state.retrievals
+                if state.retrievals else 0.0
             ),
             decisions=list(self.controller.decisions),
             vm_cost_series=list(self.vm_cost_series),
             cost_report=self.facility.billing.report(self._now),
-            channel_populations=final_channel_populations,
+            channel_populations=state.channel_populations,
             steps=int(times.size),
-            peak_step_events=peak_step_events,
+            peak_step_events=state.peak_step_events,
         )
+
+    def run(self) -> CatalogResult:
+        """Execute the whole horizon and return the merged result."""
+        while self.advance_epoch() is not None:
+            pass
+        return self.result()
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (repro.api's checkpoint()/resume())
+    # ------------------------------------------------------------------
+    def _gather_shards(self) -> List[ChannelShard]:
+        """The current shard simulators, in shard-index order."""
+        if self._closed:
+            # Workers (and their shard state) are gone; writing a
+            # checkpoint now would silently produce an unresumable file.
+            raise RuntimeError(
+                "cannot snapshot a closed engine (checkpoint before "
+                "close()/the end of the `with` block)"
+            )
+        self._start()
+        if self._shards is not None:
+            return list(self._shards)
+        for conn in self._conns:
+            conn.send(("snapshot",))
+        shards: List[ChannelShard] = []
+        for conn in self._conns:
+            shards.extend(self._expect(conn, "ok"))
+        shards.sort(key=lambda shard: shard.shard_index)
+        return shards
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """One picklable object graph capturing the whole run.
+
+        The control-plane objects go in together so shared references
+        (controller -> tracker/broker -> facility) survive a pickle
+        round-trip as one consistent graph.
+        """
+        self.start()
+        return {
+            "run": self._run_state,
+            "clock": self._clock,
+            "tracker": self.tracker,
+            "facility": self.facility,
+            "broker": self.broker,
+            "estimator": self._estimator,
+            "controller": self.controller,
+            "vm_cost_series": self.vm_cost_series,
+            "peer_upload": self._peer_upload,
+            "shards": self._gather_shards(),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a :meth:`snapshot_state` graph (before any epoch ran)."""
+        if self._started or self._run_state is not None:
+            raise RuntimeError("can only restore into a fresh engine")
+        self._run_state = state["run"]
+        self._clock = state["clock"]
+        self.tracker = state["tracker"]
+        self.facility = state["facility"]
+        self.broker = state["broker"]
+        self._estimator = state["estimator"]
+        self.controller = state["controller"]
+        self.vm_cost_series = state["vm_cost_series"]
+        self._peer_upload = state["peer_upload"]
+        self._restored_shards = list(state["shards"])
 
 
 class GeoShardedSimulator(ShardedSimulator):
@@ -849,17 +1064,14 @@ class GeoShardedSimulator(ShardedSimulator):
         # exactly the per-epoch in-effect telemetry.
         decisions = self.controller.decisions
         epochs = len(kwargs["epoch_times"])
+        telemetry = [d.epoch_telemetry() for d in decisions[:epochs]]
         return GeoCatalogResult(
             **kwargs,
             region_names=list(self.config.region_names),
-            epoch_discounts=[
-                d.mean_discount() for d in decisions[:epochs]
-            ],
-            epoch_remote_fractions=[
-                d.remote_fraction for d in decisions[:epochs]
-            ],
+            epoch_discounts=[t["discount"] for t in telemetry],
+            epoch_remote_fractions=[t["remote_fraction"] for t in telemetry],
             epoch_egress_rates=[
-                d.egress_rate_per_hour for d in decisions[:epochs]
+                t["egress_rate_per_hour"] for t in telemetry
             ],
         )
 
@@ -885,16 +1097,25 @@ def run_catalog(
     jobs: Optional[int] = None,
     predictor: Optional[ArrivalRatePredictor] = None,
 ) -> CatalogResult:
-    """Run one catalog end to end (worker count from ``jobs`` or the
-    ``REPRO_CATALOG_JOBS`` environment variable, default 1).
+    """Deprecated shim: run one catalog end to end.
 
-    The environment knob exists so registry/sweep runs can be
-    parallelized without the worker count entering the cell identity:
-    artifacts stay byte-for-byte comparable across ``jobs`` settings.
-    Garbage values raise a :class:`ValueError` naming the variable;
-    values below 1 are clamped to 1 (serial).
+    .. deprecated:: 1.2
+        Use :func:`repro.api.open_run` with an
+        :class:`repro.api.EngineConfig` — ``workers`` is a first-class
+        config field there, the run streams per-epoch reports and can be
+        checkpointed.  This shim resolves the worker count through the
+        same shared path (``jobs`` argument, else the warned
+        ``REPRO_CATALOG_JOBS`` fallback) and returns the identical
+        monolithic result.
     """
-    if jobs is None:
-        jobs = _jobs_from_env()
-    with make_engine(config, jobs=jobs, predictor=predictor) as engine:
+    warnings.warn(
+        "run_catalog() is deprecated; use repro.api.open_run("
+        "EngineConfig(spec=config, workers=...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import resolve_workers  # runtime import: api sits above
+
+    workers = resolve_workers(jobs)
+    with make_engine(config, jobs=workers, predictor=predictor) as engine:
         return engine.run()

@@ -1,0 +1,394 @@
+"""Tests for :mod:`repro.api` — the session-style engine surface.
+
+The redesign's contract, pinned down here:
+
+* streaming (``Run.epochs()``) and the monolithic ``Run.result()`` are
+  the *same* run — results byte-identical to the historical entry
+  points, for every engine kind;
+* checkpoint-at-midpoint + resume is byte-identical to an uninterrupted
+  run, including across different worker counts on either side;
+* ``EngineConfig.workers`` is authoritative; ``REPRO_CATALOG_JOBS`` is
+  a warned, validated fallback (the one shared path);
+* the historical entry points remain as shims that warn.
+"""
+
+import os
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CHECKPOINT_SCHEMA,
+    EngineConfig,
+    EpochSnapshot,
+    Run,
+    open_run,
+    resolve_workers,
+    resume,
+)
+from repro.experiments.config import small_scenario
+from repro.experiments.runner import ClosedLoopEngine, run_closed_loop
+from repro.sim.shard import run_catalog, summarize_catalog
+from repro.workload.catalog import catalog_config, geo_catalog_config
+
+RESULT_ARRAYS = (
+    "times", "cloud_used", "peer_used", "provisioned", "shortfall",
+    "populations", "quality_times", "quality",
+)
+
+
+def small_catalog(**overrides):
+    knobs = dict(
+        num_channels=6, chunks_per_channel=4, horizon_hours=0.5,
+        arrival_rate=0.5, num_shards=4, dt=60.0, interval_minutes=10.0,
+    )
+    knobs.update(overrides)
+    return catalog_config(**knobs)
+
+
+def small_geo_catalog(**overrides):
+    knobs = dict(
+        topology="us-eu", num_channels=4, chunks_per_channel=3,
+        horizon_hours=0.5, arrival_rate=0.4, num_shards=4, dt=60.0,
+        interval_minutes=10.0,
+    )
+    knobs.update(overrides)
+    return geo_catalog_config(**knobs)
+
+
+def assert_catalog_identical(a, b):
+    assert summarize_catalog(a) == summarize_catalog(b)
+    for name in RESULT_ARRAYS:
+        assert getattr(a, name).tobytes() == getattr(b, name).tobytes(), name
+    assert a.channel_populations == b.channel_populations
+    assert a.vm_cost_series == b.vm_cost_series
+    assert a.epoch_times == b.epoch_times
+
+
+def assert_closed_loop_identical(a, b):
+    assert a.interval_times == b.interval_times
+    assert a.provisioned_series == b.provisioned_series
+    assert a.used_series == b.used_series
+    assert a.peer_series == b.peer_series
+    assert a.population_series == b.population_series
+    assert a.vm_cost_series == b.vm_cost_series
+    assert a.average_quality == b.average_quality
+    assert a.mean_vm_cost_per_hour == b.mean_vm_cost_per_hour
+    sa, sb = a.simulation, b.simulation
+    assert sa.arrivals == sb.arrivals and sa.departures == sb.departures
+    for field in ("time", "cloud_used", "peer_used", "provisioned",
+                  "shortfall"):
+        assert getattr(sa.bandwidth, field).tobytes() == \
+            getattr(sb.bandwidth, field).tobytes(), field
+
+
+# ----------------------------------------------------------------------
+# EngineConfig
+# ----------------------------------------------------------------------
+
+class TestEngineConfig:
+    def test_kind_dispatch(self):
+        assert EngineConfig(spec=small_scenario("p2p")).kind == "closed-loop"
+        assert EngineConfig(spec=small_catalog()).kind == "catalog"
+        assert EngineConfig(spec=small_geo_catalog()).kind == "geo-catalog"
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(TypeError, match="EngineConfig.spec"):
+            EngineConfig(spec={"mode": "p2p"})
+
+    def test_closed_loop_is_single_process(self):
+        with pytest.raises(ValueError, match="single-process"):
+            EngineConfig(spec=small_scenario("p2p"), workers=4)
+        # workers=1 and None are fine.
+        EngineConfig(spec=small_scenario("p2p"), workers=1)
+        assert EngineConfig(spec=small_scenario("p2p")).resolved_workers() == 1
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            EngineConfig(spec=small_catalog(), workers="auto")
+        assert EngineConfig(
+            spec=small_catalog(), workers=0
+        ).resolved_workers() == 1
+
+    def test_closed_loop_ignores_env(self, monkeypatch):
+        """A worker env fallback must never leak into the closed loop."""
+        monkeypatch.setenv("REPRO_CATALOG_JOBS", "4")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no deprecation warning either
+            assert EngineConfig(
+                spec=small_scenario("p2p")
+            ).resolved_workers() == 1
+
+
+class TestResolveWorkers:
+    def test_explicit_is_authoritative_and_unwarned(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CATALOG_JOBS", "7")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(3) == 3
+
+    def test_env_fallback_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CATALOG_JOBS", "2")
+        with pytest.warns(DeprecationWarning, match="REPRO_CATALOG_JOBS"):
+            assert resolve_workers(None) == 2
+
+    def test_env_garbage_named_in_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CATALOG_JOBS", "auto")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="REPRO_CATALOG_JOBS"):
+                resolve_workers(None)
+
+    @pytest.mark.parametrize("raw", ["0", "-3"])
+    def test_env_clamped_to_serial(self, raw, monkeypatch):
+        monkeypatch.setenv("REPRO_CATALOG_JOBS", raw)
+        with pytest.warns(DeprecationWarning):
+            assert resolve_workers(None) == 1
+
+    def test_blank_env_is_serial_and_silent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CATALOG_JOBS", "  ")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(None) == 1
+
+    def test_explicit_clamped(self):
+        assert resolve_workers(-2) == 1
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers("many")
+
+    def test_non_integral_workers_raise_not_truncate(self):
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(2.9)
+        with pytest.raises(ValueError, match="workers"):
+            EngineConfig(spec=small_catalog(), workers=0.5)
+        assert resolve_workers("3") == 3  # env-style strings still parse
+        assert resolve_workers(np.int64(3)) == 3
+
+
+# ----------------------------------------------------------------------
+# Streaming == monolithic
+# ----------------------------------------------------------------------
+
+class TestStreamingParity:
+    def test_catalog_stream_matches_monolithic_and_legacy(self):
+        config = small_catalog()
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            mono = run.result()
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            snaps = list(run.epochs())
+            streamed = run.result()
+        with pytest.warns(DeprecationWarning, match="run_catalog"):
+            legacy = run_catalog(config, jobs=1)
+        assert_catalog_identical(mono, streamed)
+        assert_catalog_identical(mono, legacy)
+        assert [s.index for s in snaps] == list(range(1, len(snaps) + 1))
+        assert snaps[-1].is_final
+        assert sum(s.arrivals for s in snaps) == mono.arrivals
+        assert sum(s.departures for s in snaps) == mono.departures
+        assert snaps[-1].population == mono.final_population
+        assert max(s.peak_population for s in snaps) == mono.peak_population
+        # Every non-final boundary carries its full provisioning decision.
+        assert all(s.decision is not None for s in snaps[:-1])
+        assert snaps[-1].decision is None
+        assert [s.vm_cost_per_hour for s in snaps[:-1]] == mono.vm_cost_series
+
+    def test_closed_loop_stream_matches_monolithic_and_legacy(self):
+        scenario = small_scenario("p2p", horizon_hours=3.0)
+        with open_run(scenario) as run:
+            mono = run.result()
+        with open_run(scenario) as run:
+            snaps = list(run.epochs())
+            streamed = run.result()
+        with pytest.warns(DeprecationWarning, match="run_closed_loop"):
+            legacy = run_closed_loop(scenario)
+        assert_closed_loop_identical(mono, streamed)
+        assert_closed_loop_identical(mono, legacy)
+        assert len(snaps) == run.epochs_total
+        assert sum(s.arrivals for s in snaps) == mono.simulation.arrivals
+        assert [s.vm_cost_per_hour for s in snaps[:-1]] == mono.vm_cost_series
+
+    def test_geo_stream_matches_monolithic(self):
+        config = small_geo_catalog()
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            mono = run.result()
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            for _ in run.epochs():
+                pass
+            streamed = run.result()
+        assert_catalog_identical(mono, streamed)
+        assert mono.epoch_discounts == streamed.epoch_discounts
+        assert mono.epoch_remote_fractions == streamed.epoch_remote_fractions
+        assert mono.epoch_egress_rates == streamed.epoch_egress_rates
+
+    def test_epochs_iterator_is_resumable(self):
+        config = small_catalog()
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            first = next(run.epochs())
+            rest = list(run.epochs())  # a NEW iterator continues, not restarts
+            assert first.index == 1
+            assert [s.index for s in rest] == \
+                list(range(2, len(rest) + 2))
+            run.result()
+
+    def test_result_is_repeatable(self):
+        with open_run(EngineConfig(spec=small_catalog(), workers=1)) as run:
+            assert_catalog_identical(run.result(), run.result())
+
+    def test_predictor_key_round_trip(self):
+        scenario = small_scenario("client-server", horizon_hours=2.0)
+        with open_run(EngineConfig(spec=scenario, predictor="ewma")) as run:
+            via_key = run.result()
+        from repro.experiments.registry import make_predictor
+
+        direct = ClosedLoopEngine(
+            scenario, predictor=make_predictor("ewma")
+        ).run()
+        assert_closed_loop_identical(via_key, direct)
+
+    def test_unknown_predictor_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown predictor"):
+            open_run(
+                EngineConfig(spec=small_scenario("p2p"), predictor="oracle")
+            )
+
+    def test_open_run_rejects_conflicting_kwargs(self):
+        with pytest.raises(TypeError, match="inside the EngineConfig"):
+            open_run(EngineConfig(spec=small_catalog()), workers=2)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+
+def checkpoint_at(config_api, stop_after, path):
+    """Run until ``stop_after`` epochs completed, checkpoint, close."""
+    with open_run(config_api) as run:
+        for snap in run.epochs():
+            if snap.index == stop_after:
+                break
+        return run.checkpoint(path)
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("ckpt_workers,resume_workers", [
+        (1, 1), (1, 4), (4, 1), (4, 4),
+    ])
+    def test_catalog_midpoint_resume_identical(self, tmp_path,
+                                               ckpt_workers, resume_workers):
+        config = small_catalog()
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            reference = run.result()
+        path = tmp_path / "mid.ckpt"
+        checkpoint_at(
+            EngineConfig(spec=config, workers=ckpt_workers), 1, path
+        )
+        with resume(path, workers=resume_workers) as tail:
+            assert tail.epoch == 1
+            resumed = tail.result()
+        assert_catalog_identical(reference, resumed)
+
+    @pytest.mark.parametrize("ckpt_workers,resume_workers", [(1, 4), (4, 1)])
+    def test_geo_midpoint_resume_identical(self, tmp_path,
+                                           ckpt_workers, resume_workers):
+        config = small_geo_catalog()
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            reference = run.result()
+        path = tmp_path / "geo.ckpt"
+        checkpoint_at(
+            EngineConfig(spec=config, workers=ckpt_workers), 1, path
+        )
+        with resume(path, workers=resume_workers) as tail:
+            resumed = tail.result()
+        assert_catalog_identical(reference, resumed)
+        assert reference.epoch_discounts == resumed.epoch_discounts
+        assert reference.epoch_egress_rates == resumed.epoch_egress_rates
+
+    def test_closed_loop_midpoint_resume_identical(self, tmp_path):
+        scenario = small_scenario("p2p", horizon_hours=3.0)
+        with open_run(scenario) as run:
+            reference = run.result()
+        path = tmp_path / "cl.ckpt"
+        checkpoint_at(EngineConfig(spec=scenario), 1, path)
+        with resume(path) as tail:
+            resumed = tail.result()
+        assert_closed_loop_identical(reference, resumed)
+
+    def test_checkpoint_before_first_epoch(self, tmp_path):
+        config = small_catalog()
+        path = tmp_path / "zero.ckpt"
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            run.checkpoint(path)  # bootstraps, zero epochs completed
+            reference = run.result()
+        with resume(path) as tail:
+            assert tail.epoch == 0
+            assert_catalog_identical(reference, tail.result())
+
+    def test_checkpoint_after_done(self, tmp_path):
+        config = small_catalog()
+        path = tmp_path / "done.ckpt"
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            reference = run.result()
+            run.checkpoint(path)
+        with resume(path) as tail:
+            assert tail.done
+            assert list(tail.epochs()) == []
+            assert_catalog_identical(reference, tail.result())
+
+    def test_checkpointed_run_keeps_going(self, tmp_path):
+        """checkpoint() must not disturb the in-memory run."""
+        config = small_catalog()
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            reference = run.result()
+        with open_run(EngineConfig(spec=config, workers=4)) as run:
+            for snap in run.epochs():
+                run.checkpoint(tmp_path / f"e{snap.index}.ckpt")
+            assert_catalog_identical(reference, run.result())
+
+    def test_checkpoint_after_close_raises(self, tmp_path):
+        """A closed engine's workers (and shard state) are gone;
+        checkpointing then must raise, not write an unresumable file."""
+        run = open_run(EngineConfig(spec=small_catalog(), workers=2))
+        next(run.epochs())
+        run.close()
+        with pytest.raises(RuntimeError, match="closed engine"):
+            run.checkpoint(tmp_path / "late.ckpt")
+        assert not (tmp_path / "late.ckpt").exists()
+
+    def test_resume_rejects_non_checkpoints(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(pickle.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            resume(path)
+
+    def test_resume_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        path.write_bytes(pickle.dumps({
+            "format": "repro-checkpoint",
+            "schema": CHECKPOINT_SCHEMA + 1,
+        }))
+        with pytest.raises(ValueError, match="schema"):
+            resume(path)
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims
+# ----------------------------------------------------------------------
+
+class TestDeprecatedShims:
+    def test_run_closed_loop_warns_and_matches(self):
+        scenario = small_scenario("client-server", horizon_hours=2.0)
+        with pytest.warns(DeprecationWarning, match="open_run"):
+            legacy = run_closed_loop(scenario)
+        with open_run(scenario) as run:
+            assert_closed_loop_identical(legacy, run.result())
+
+    def test_run_catalog_warns_and_honors_env(self, monkeypatch):
+        config = small_catalog(horizon_hours=0.25)
+        monkeypatch.setenv("REPRO_CATALOG_JOBS", "2")
+        with pytest.warns(DeprecationWarning):
+            from_env = summarize_catalog(run_catalog(config))
+        monkeypatch.delenv("REPRO_CATALOG_JOBS")
+        with pytest.warns(DeprecationWarning, match="run_catalog"):
+            serial = summarize_catalog(run_catalog(config, jobs=1))
+        assert from_env == serial

@@ -22,6 +22,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
 
 class TestAnalyze:
     def test_client_server_output(self, capsys):
@@ -181,6 +189,31 @@ class TestCatalog:
         assert main(self.ARGS + ["--variant", "diurnal"]) == 0
         assert "catalog-diurnal" in capsys.readouterr().out
 
+    def test_stream_prints_epoch_lines(self, capsys):
+        assert main(self.ARGS + ["--stream"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch   1/" in out
+        assert "sharded catalog run" in out  # summary still follows
+
+    def test_set_overrides_catalog_knobs(self, tmp_path):
+        out_path = tmp_path / "set.json"
+        assert main(self.ARGS + ["--set", "num_channels=8",
+                                 "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["metrics"]["num_channels"] == 8
+
+    def test_unknown_set_key_fails_fast_listing_knobs(self, capsys):
+        assert main(self.ARGS + ["--set", "channles=8"]) == 2
+        err = capsys.readouterr().err
+        assert "channles" in err
+        assert "num_channels" in err  # the valid vocabulary is listed
+
+    def test_geo_set_key_rejected_for_plain_catalog(self, capsys):
+        """topology is a geo-factory knob; the single-region path must
+        name it unknown instead of silently ignoring it."""
+        assert main(self.ARGS + ["--set", 'topology="us-eu"']) == 2
+        assert "unknown --set key" in capsys.readouterr().err
+
 
 class TestGeoCatalog:
     ARGS = ["--channels", "4", "--chunks", "3", "--hours", "0.5",
@@ -223,3 +256,28 @@ class TestGeoCatalog:
         single-region greedy instead would drop the user's request."""
         assert main(["catalog", "--exact"] + self.ARGS) == 2
         assert "--topology" in capsys.readouterr().err
+
+    def test_set_invalid_topology_is_a_usage_error(self, capsys):
+        """A bad topology smuggled in via --set must exit 2 with the
+        preset list, same as --topology, not a raw traceback."""
+        assert main(["geo"] + self.ARGS + ["--set", 'topology="bogus"']) == 2
+        assert "unknown geo topology" in capsys.readouterr().err
+
+    def test_set_invalid_value_is_a_usage_error(self, capsys):
+        assert main(["catalog"] + self.ARGS
+                    + ["--set", "num_channels=0"]) == 2
+        assert "at least one channel" in capsys.readouterr().err
+
+    def test_set_wrong_container_type_is_a_usage_error(self):
+        """--set 'num_shards=[2]' parses as a list; the factory's
+        TypeError must surface as exit 2, not a traceback."""
+        assert main(["catalog"] + self.ARGS
+                    + ["--set", "num_shards=[2]"]) == 2
+
+    def test_set_overrides_geo_knobs(self, tmp_path):
+        out_path = tmp_path / "geo-set.json"
+        assert main(["geo"] + self.ARGS
+                    + ["--set", 'topology="us-eu"',
+                       "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["metrics"]["num_regions"] == 2
