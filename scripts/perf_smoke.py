@@ -51,7 +51,12 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_kernel.json"
 
-BENCH_SCHEMA = 1
+#: Schema 2 adds a ``phases`` dict to each catalog headline record —
+#: the engine's cumulative per-phase breakdown (``kernel`` / ``merge`` /
+#: ``controller`` / ``ipc`` seconds, see ``Run.phase_seconds``).  The
+#: addition is backward compatible: schema-1 files are still accepted as
+#: the committed reference (every gated field is unchanged).
+BENCH_SCHEMA = 2
 
 #: The timed kernels. ``fig04`` is the short-run client-server kernel at
 #: the small-scale default population. ``flash-crowd`` is the sustained-
@@ -200,6 +205,7 @@ def time_catalog(jobs: int, seed: int = 2011, *, geo: bool = False) -> dict:
     started = time.perf_counter()
     with open_run(EngineConfig(spec=config, workers=jobs)) as run:
         result = run.result()
+        phases = run.phase_seconds()
     wall = time.perf_counter() - started
     metrics = summarize_catalog(result)
     steps = result.steps
@@ -223,6 +229,10 @@ def time_catalog(jobs: int, seed: int = 2011, *, geo: bool = False) -> dict:
         "user_steps_per_sec": steps_per_sec * mean_pop,
         "total_arrivals": int(metrics["arrivals"]),
         "average_quality": float(metrics["average_quality"]),
+        # Where the wall clock went: shard-kernel CPU, parent-side epoch
+        # merge, controller (bootstrap + replans), and the worker
+        # round-trip remainder (serialization, acks, scheduling).
+        "phases": {k: float(v) for k, v in phases.items()},
     }
     if geo:
         record.update({
@@ -288,6 +298,10 @@ def measure(warmup_scale: float, timed_steps: int, *,
               f"(peak population {k['max_population']:.0f} over "
               f"{k['total_arrivals']} arrivals, "
               f"quality {k['average_quality']:.3f})")
+        ph = k["phases"]
+        print("  phases: " + "  ".join(
+            f"{name}={ph.get(name, 0.0):.2f}s"
+            for name in ("kernel", "merge", "controller", "ipc")))
         print(f"timing the geo catalog ({GEO_CATALOG['topology']} x "
               f"{GEO_CATALOG['num_channels']} channels, "
               f"{GEO_CATALOG['num_shards']} shards, "
@@ -299,6 +313,10 @@ def measure(warmup_scale: float, timed_steps: int, *,
               f"(peak population {k['max_population']:.0f}, remote "
               f"fraction {k['mean_remote_fraction']:.3f}, egress "
               f"${k['egress_cost_per_hour']:.2f}/h)")
+        ph = k["phases"]
+        print("  phases: " + "  ".join(
+            f"{name}={ph.get(name, 0.0):.2f}s"
+            for name in ("kernel", "merge", "controller", "ipc")))
     print("timing one sweep cell (fig04, client-server, 2h) ...", flush=True)
     cell = time_sweep_cell()
     print(f"  {cell['wall_seconds']:.2f} s")
@@ -363,7 +381,9 @@ def main(argv=None) -> int:
     if args.out.is_file():
         try:
             previous = json.loads(args.out.read_text())
-            if previous.get("schema") == BENCH_SCHEMA:
+            # Schema 2 only *adds* fields (the catalog ``phases``
+            # breakdown), so schema-1 files remain valid references.
+            if previous.get("schema") in (1, BENCH_SCHEMA):
                 payload["baseline"] = previous.get("baseline")
                 committed_current = previous.get("current")
         except ValueError:

@@ -346,6 +346,16 @@ class Run:
         os.replace(tmp, path)
         return path
 
+    def phase_seconds(self) -> dict:
+        """Cumulative wall-clock phase breakdown of the run so far.
+
+        For the sharded engines: ``kernel`` (inside the shard step
+        kernels), ``merge`` (parent-side epoch merge), ``controller``
+        (bootstrap + replans) and ``ipc`` (worker round-trip overhead).
+        Engines without instrumentation report ``{}``.
+        """
+        return dict(getattr(self._engine, "phase_seconds", {}) or {})
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
         self._engine.close()

@@ -84,7 +84,13 @@ class SweepError(RuntimeError):
 #: artifacts then miss the cache instead of being misread.
 #: Schema 2: top-level ``wall_seconds`` next to ``metrics``; closed-loop
 #: metrics grew ``steps``, ``peak_step_events`` and ``peak_population``.
-ARTIFACT_SCHEMA = 2
+#: Schema 3: artifacts are **byte-deterministic** — a cell's file is a
+#: pure function of (scenario, params, seed, environment), identical
+#: for any worker count and across reruns, so artifact trees can be
+#: compared by checksum.  The volatile run info (wall clock, creation
+#: time) moved to a ``.runinfo/<hash>.json`` sidecar directory that
+#: artifact globs never match.
+ARTIFACT_SCHEMA = 3
 
 
 def _canonical(params: Mapping[str, object]) -> Dict[str, object]:
@@ -228,10 +234,26 @@ class ArtifactStore:
             return None
         return payload
 
+    def _run_info_path(self, cell: SweepCell) -> Path:
+        # Tucked in a dot-directory so ``*.json`` globs (and checksum
+        # sweeps over the artifact tree) never see it.
+        return self.root / cell.scenario / ".runinfo" / f"{cell.hash}.json"
+
+    def run_info(self, cell: SweepCell) -> Dict[str, float]:
+        """The cell's volatile run sidecar ({} when absent/corrupt)."""
+        try:
+            payload = json.loads(self._run_info_path(cell).read_text())
+        except (OSError, ValueError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
     def save(self, cell: SweepCell, metrics: Mapping[str, float],
              duration_seconds: float) -> Path:
         path = self.path(cell)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Every field below is deterministic for a fixed environment —
+        # the schema-3 contract that identical cells produce identical
+        # bytes.  Wall-clock values go in the sidecar only.
         payload = {
             "schema": ARTIFACT_SCHEMA,
             "scenario": cell.scenario,
@@ -239,10 +261,7 @@ class ArtifactStore:
             "params": cell.params_dict,
             "seed": cell.seed,
             "metrics": dict(metrics),
-            "wall_seconds": duration_seconds,
             "meta": {
-                "created_unix": time.time(),
-                "duration_seconds": duration_seconds,
                 "repro_version": __version__,
                 "python": platform.python_version(),
             },
@@ -250,6 +269,12 @@ class ArtifactStore:
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         os.replace(tmp, path)
+        run_info = self._run_info_path(cell)
+        run_info.parent.mkdir(parents=True, exist_ok=True)
+        run_info.write_text(json.dumps({
+            "created_unix": time.time(),
+            "duration_seconds": duration_seconds,
+        }, indent=2, sort_keys=True) + "\n")
         return path
 
     def scenario_artifacts(self, scenario: str) -> List[Path]:
@@ -337,7 +362,9 @@ def run_sweep(
                 metrics=dict(payload["metrics"]),  # type: ignore[arg-type]
                 path=store.path(cell),
                 cached=True,
-                duration_seconds=float(payload.get("wall_seconds", 0.0)),
+                duration_seconds=float(
+                    store.run_info(cell).get("duration_seconds", 0.0)
+                ),
             ))
         else:
             pending.append(cell)

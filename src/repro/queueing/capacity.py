@@ -112,9 +112,20 @@ def required_servers(
     target_in_system = arrival_rate * target_sojourn  # Little's law
     m = max(1, math.floor(offered) + 1)  # smallest stable server count
     # With infinitely many servers E[n] -> offered <= target_in_system,
-    # so the search below terminates.
+    # so the search below terminates.  The Erlang-B recursion is carried
+    # across candidates: B(m, a) extends B(m-1, a) by one step, so the
+    # linear search costs O(m) total instead of O(m^2) while producing
+    # exactly the floats ``mmm_expected_number_in_system(m, offered)``
+    # would (same recursion, same order).
+    a = offered
+    b = 1.0
+    for k in range(1, m):
+        b = a * b / (k + a * b)
     while m <= max_servers:
-        if mmm_expected_number_in_system(m, offered) <= target_in_system + 1e-12:
+        b = a * b / (m + a * b)  # Erlang-B step: B(m, a) from B(m-1, a)
+        c = m * b / (m - a * (1.0 - b))  # Erlang-C conversion
+        in_system = a + c * a / (m - a)  # E[n] = a + Lq
+        if in_system <= target_in_system + 1e-12:
             return m
         m += 1
     raise ValueError(f"exceeded max_servers={max_servers} searching for capacity")

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing as mp
+import time
 import traceback
 import warnings
 from dataclasses import dataclass, field
@@ -58,13 +59,16 @@ from repro.core.demand import DemandEstimator
 from repro.core.predictor import ArrivalRatePredictor
 from repro.core.provisioner import ProvisioningController, ProvisioningDecision
 from repro.geo.controller import GeoProvisioningController
+from repro.sim.shm import EpochShmLayout, ParentSegment, attach_segment
 from repro.vod.metrics import latency_adjusted_quality
+from repro.vod.multi import MultiChannelSimulator, channels_are_uniform
 from repro.vod.simulator import VoDSimulator, VoDSystemConfig
 from repro.vod.tracker import IntervalStats, TrackingServer
 from repro.workload.catalog import (
     CatalogConfig,
     GeoCatalogConfig,
     build_shard_trace,
+    build_shard_trace_arrays,
     channel_shapes,
     shard_channel_ids,
 )
@@ -80,6 +84,8 @@ __all__ = [
     "GeoShardedSimulator",
     "ShardEngineError",
     "merge_epoch_reports",
+    "report_to_views",
+    "report_from_views",
     "make_engine",
     "run_catalog",
     "summarize_catalog",
@@ -112,42 +118,76 @@ class EpochClock:
 # ----------------------------------------------------------------------
 
 class ChannelShard:
-    """A fixed subset of the catalog's channels in one simulator."""
+    """A fixed subset of the catalog's channels in one simulator.
 
-    def __init__(self, config: CatalogConfig, shard_index: int) -> None:
+    Client-server catalogs with a uniform channel set (every family
+    :func:`make_uniform_channels` builds) run on the fused
+    :class:`~repro.vod.multi.MultiChannelSimulator` kernel — one
+    vectorized pass per phase over the whole channel set.  P2P mode and
+    heterogeneous channels keep one :class:`VoDSimulator` over the
+    shard's channels (the historical per-channel kernel); both kernels
+    are byte-identical for any configuration both accept, and
+    checkpoints restored from either keep their original kernel.
+    """
+
+    def __init__(
+        self,
+        config: CatalogConfig,
+        shard_index: int,
+        *,
+        shapes: Optional[list] = None,
+        all_channels: Optional[list] = None,
+    ) -> None:
         self.config = config
         self.shard_index = shard_index
         self.channel_ids = shard_channel_ids(config, shard_index)
-        shapes = channel_shapes(config)
-        trace = build_shard_trace(
-            config, self.channel_ids,
-            shapes=[shapes[c] for c in self.channel_ids],
-        )
-        all_channels = config.channels()
+        # ``shapes``/``all_channels`` let a caller building several
+        # shards of the same catalog compute the (identical) full-catalog
+        # lists once instead of once per shard.
+        if shapes is None:
+            shapes = channel_shapes(config)
+        owned_shapes = [shapes[c] for c in self.channel_ids]
+        if all_channels is None:
+            all_channels = config.channels()
         channels = [all_channels[c] for c in self.channel_ids]
-        # The tracker is sized for the whole catalog's slot space so
-        # global channel ids index it directly; only owned channels ever
-        # receive observations, and reports carry only the owned slice.
-        # History is disabled: the owned slice ships to the control plane
-        # every epoch, so retaining closed intervals here would only grow
-        # memory linearly with the horizon.
-        tracker = TrackingServer(
-            num_channels=config.channel_slots,
-            chunks_per_channel=[config.chunks_per_channel] * config.channel_slots,
-            interval_seconds=config.interval_seconds,
-            keep_history=False,
+        sim_config = VoDSystemConfig(
+            mode=config.mode,
+            dt=config.dt,
+            user_rate_cap=config.constants.vm_bandwidth,
+            seed=config.seed,
         )
-        self.sim = VoDSimulator(
-            channels,
-            trace,
-            VoDSystemConfig(
-                mode=config.mode,
-                dt=config.dt,
-                user_rate_cap=config.constants.vm_bandwidth,
-                seed=config.seed,
-            ),
-            tracker=tracker,
-        )
+        if config.mode == "client-server" and channels_are_uniform(channels):
+            trace_arrays = build_shard_trace_arrays(
+                config, self.channel_ids, shapes=owned_shapes
+            )
+            self.sim = MultiChannelSimulator(
+                channels,
+                trace_arrays,
+                sim_config,
+                interval_seconds=config.interval_seconds,
+            )
+        else:
+            trace = build_shard_trace(
+                config, self.channel_ids, shapes=owned_shapes
+            )
+            # The tracker is sized for the whole catalog's slot space so
+            # global channel ids index it directly; only owned channels
+            # ever receive observations, and reports carry only the
+            # owned slice.  History is disabled: the owned slice ships
+            # to the control plane every epoch, so retaining closed
+            # intervals here would only grow memory linearly with the
+            # horizon.
+            tracker = TrackingServer(
+                num_channels=config.channel_slots,
+                chunks_per_channel=(
+                    [config.chunks_per_channel] * config.channel_slots
+                ),
+                interval_seconds=config.interval_seconds,
+                keep_history=False,
+            )
+            self.sim = VoDSimulator(
+                channels, trace, sim_config, tracker=tracker
+            )
         self._quality_cursor = 0
         self._retrievals = 0
         self._unsmooth = 0
@@ -190,12 +230,16 @@ class ChannelShard:
         self._arrivals = sim.arrivals
         self._departures = sim.departures
 
-        stats_all = sim.tracker.close_interval()
+        if isinstance(sim, MultiChannelSimulator):
+            stats = sim.close_interval()
+        else:
+            stats_all = sim.tracker.close_interval()
+            stats = [stats_all[c] for c in self.channel_ids]
         upload_sum, upload_count = sim.peer_upload_totals()
         return EpochReport(
             shard_index=self.shard_index,
             t_end=t_end,
-            stats=[stats_all[c] for c in self.channel_ids],
+            stats=stats,
             step_times=log.time[window].copy(),
             cloud_used=log.cloud_used[window].copy(),
             peer_used=log.peer_used[window].copy(),
@@ -350,11 +394,126 @@ def merge_epoch_reports(reports: Sequence[EpochReport]) -> MergedEpoch:
 
 
 # ----------------------------------------------------------------------
+# Shared-memory epoch blocks (see repro.sim.shm for the layout)
+# ----------------------------------------------------------------------
+
+def report_to_views(
+    views: Dict[str, np.ndarray],
+    report: EpochReport,
+    owned_ids: Sequence[int],
+    kernel_seconds: float,
+) -> None:
+    """Serialize one shard's epoch report into its shm block (in place).
+
+    Every value is a plain int64/float64 store, so the block round-trips
+    bit-exactly — the transport sits outside the determinism contract.
+    """
+    n = int(report.step_times.size)
+    views["n_steps"][0] = n
+    views["t_end"][0] = report.t_end
+    views["arrivals"][0] = report.arrivals
+    views["departures"][0] = report.departures
+    views["retrievals"][0] = report.retrievals
+    views["unsmooth"][0] = report.unsmooth
+    views["sojourn_sum"][0] = report.sojourn_sum
+    views["upload_sum"][0] = report.upload_sum
+    views["upload_count"][0] = report.upload_count
+    views["peak_step_events"][0] = report.peak_step_events
+    views["kernel_seconds"][0] = kernel_seconds
+    views["step_times"][:n] = report.step_times
+    views["cloud_used"][:n] = report.cloud_used
+    views["peer_used"][:n] = report.peer_used
+    views["provisioned"][:n] = report.provisioned
+    views["shortfall"][:n] = report.shortfall
+    views["populations"][:n] = report.populations
+    nq = len(report.quality_samples)
+    views["n_quality"][0] = nq
+    if nq:
+        q_times, q_smooth, q_users = zip(*report.quality_samples)
+        views["quality_times"][:nq] = q_times
+        views["quality_smooth"][:nq] = q_smooth
+        views["quality_users"][:nq] = q_users
+    for k, stats in enumerate(report.stats):
+        views["stat_arrivals"][k] = stats.arrivals
+        views["stat_upload_sum"][k] = stats.upload_capacity_sum
+        views["stat_upload_samples"][k] = stats.upload_capacity_samples
+        views["stat_transitions"][k] = stats.transition_counts
+        views["stat_departures"][k] = stats.departure_counts
+        views["stat_starts"][k] = stats.start_chunk_counts
+    views["channel_populations"][:] = [
+        report.channel_populations[cid] for cid in owned_ids
+    ]
+
+
+def report_from_views(
+    views: Dict[str, np.ndarray],
+    shard_index: int,
+    owned_ids: Sequence[int],
+    interval_seconds: float,
+) -> EpochReport:
+    """Rebuild a shard's :class:`EpochReport` from its shm block.
+
+    The step series are zero-copy numpy views — valid until the next
+    epoch overwrites the block, which is fine because
+    :func:`merge_epoch_reports` reduces them into fresh arrays right
+    away.  The per-channel statistics arrays ARE copied: the merged
+    epoch retains them (the control plane absorbs them after the merge).
+    """
+    n = int(views["n_steps"][0])
+    nq = int(views["n_quality"][0])
+    stats = [
+        IntervalStats(
+            channel_id=int(cid),
+            interval_seconds=interval_seconds,
+            arrivals=int(views["stat_arrivals"][k]),
+            transition_counts=views["stat_transitions"][k].copy(),
+            departure_counts=views["stat_departures"][k].copy(),
+            upload_capacity_sum=float(views["stat_upload_sum"][k]),
+            upload_capacity_samples=int(views["stat_upload_samples"][k]),
+            start_chunk_counts=views["stat_starts"][k].copy(),
+        )
+        for k, cid in enumerate(owned_ids)
+    ]
+    quality_samples = list(
+        zip(
+            views["quality_times"][:nq].tolist(),
+            views["quality_smooth"][:nq].tolist(),
+            views["quality_users"][:nq].tolist(),
+        )
+    )
+    return EpochReport(
+        shard_index=shard_index,
+        t_end=float(views["t_end"][0]),
+        stats=stats,
+        step_times=views["step_times"][:n],
+        cloud_used=views["cloud_used"][:n],
+        peer_used=views["peer_used"][:n],
+        provisioned=views["provisioned"][:n],
+        shortfall=views["shortfall"][:n],
+        populations=views["populations"][:n],
+        quality_samples=quality_samples,
+        arrivals=int(views["arrivals"][0]),
+        departures=int(views["departures"][0]),
+        retrievals=int(views["retrievals"][0]),
+        unsmooth=int(views["unsmooth"][0]),
+        sojourn_sum=float(views["sojourn_sum"][0]),
+        upload_sum=float(views["upload_sum"][0]),
+        upload_count=int(views["upload_count"][0]),
+        peak_step_events=int(views["peak_step_events"][0]),
+        channel_populations={
+            int(cid): int(views["channel_populations"][k])
+            for k, cid in enumerate(owned_ids)
+        },
+    )
+
+
+# ----------------------------------------------------------------------
 # Worker processes
 # ----------------------------------------------------------------------
 
 def _worker_main(conn, config: CatalogConfig, shard_indices: List[int],
-                 shard_states: Optional[List[ChannelShard]] = None) -> None:
+                 shard_states: Optional[List[ChannelShard]] = None,
+                 shm_name: Optional[str] = None) -> None:
     """Long-lived worker: build (or adopt) the owned shards, serve epochs.
 
     ``shard_states`` carries checkpointed :class:`ChannelShard` objects
@@ -362,12 +521,33 @@ def _worker_main(conn, config: CatalogConfig, shard_indices: List[int],
     spawn), skipping the trace rebuild.  Besides epochs, the worker
     answers ``("snapshot",)`` with its current shards — the parent-side
     checkpoint gathers them without interrupting the run.
+
+    With ``shm_name`` the worker writes each epoch's reports into its
+    shards' shared-memory blocks and acks ``("ok", None)``; without it
+    (legacy/fallback) reports travel pickled over the pipe.  Either way
+    the attachment is closed in ``finally`` — the parent owns the
+    segment's unlink, so no worker exit path can leak ``/dev/shm``
+    blocks or trip the resource tracker.
     """
+    segment = None
     try:
         if shard_states is not None:
             shards = shard_states
         else:
-            shards = [ChannelShard(config, i) for i in shard_indices]
+            # The full-catalog shape/spec lists are identical across
+            # shards; compute them once per worker.
+            shapes = channel_shapes(config)
+            all_channels = config.channels()
+            shards = [
+                ChannelShard(
+                    config, i, shapes=shapes, all_channels=all_channels
+                )
+                for i in shard_indices
+            ]
+        layout = None
+        if shm_name is not None:
+            layout = EpochShmLayout(config)
+            segment = attach_segment(shm_name)
         conn.send(("ready", shard_indices))
         while True:
             message = conn.recv()
@@ -377,11 +557,27 @@ def _worker_main(conn, config: CatalogConfig, shard_indices: List[int],
                 conn.send(("ok", shards))
                 continue
             _, t_end, capacities = message
-            reports = []
-            for shard in shards:
-                shard.set_capacities(capacities)
-                reports.append(shard.advance_epoch(t_end))
-            conn.send(("ok", reports))
+            if segment is not None:
+                for shard in shards:
+                    shard.set_capacities(capacities)
+                    # CPU time, not wall: time-sliced workers sharing
+                    # cores would otherwise count each other's compute.
+                    started = time.process_time()
+                    report = shard.advance_epoch(t_end)
+                    kernel_seconds = time.process_time() - started
+                    report_to_views(
+                        layout.views(segment.buf, shard.shard_index),
+                        report,
+                        layout.owned_ids[shard.shard_index],
+                        kernel_seconds,
+                    )
+                conn.send(("ok", None))
+            else:
+                reports = []
+                for shard in shards:
+                    shard.set_capacities(capacities)
+                    reports.append(shard.advance_epoch(t_end))
+                conn.send(("ok", reports))
     except EOFError:
         pass
     except BaseException:
@@ -390,6 +586,11 @@ def _worker_main(conn, config: CatalogConfig, shard_indices: List[int],
         except (OSError, EOFError, BrokenPipeError):
             pass
     finally:
+        if segment is not None:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
         conn.close()
 
 
@@ -631,6 +832,17 @@ class ShardedSimulator:
         self._conns: List = []
         self._started = False
         self._closed = False
+        self._layout: Optional[EpochShmLayout] = None
+        self._segment: Optional[ParentSegment] = None
+        #: Cumulative phase breakdown of the run.  ``kernel`` is CPU
+        #: seconds inside the shard kernels (summed across workers);
+        #: ``merge`` and ``controller`` are parent wall clock; ``ipc``
+        #: is the epoch round-trip's wall clock minus kernel CPU —
+        #: serialization, pipe acks and scheduling (0 when workers
+        #: genuinely overlap on spare cores).
+        self.phase_seconds: Dict[str, float] = {
+            "kernel": 0.0, "merge": 0.0, "controller": 0.0, "ipc": 0.0,
+        }
 
     def _build_controller(
         self, predictor: Optional[ArrivalRatePredictor]
@@ -658,7 +870,7 @@ class ShardedSimulator:
         self.close()
 
     def close(self) -> None:
-        """Tear down worker processes (idempotent)."""
+        """Tear down worker processes and the shm segment (idempotent)."""
         if self._closed:
             return
         self._closed = True
@@ -676,6 +888,9 @@ class ShardedSimulator:
             conn.close()
         self._conns = []
         self._workers = []
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
 
     # ------------------------------------------------------------------
     def _start(self) -> None:
@@ -685,23 +900,41 @@ class ShardedSimulator:
         shards = self.config.effective_shards
         restored = self._restored_shards
         self._restored_shards = None
-        if self.jobs <= 1:
-            self._shards = restored if restored is not None else [
-                ChannelShard(self.config, i) for i in range(shards)
+        # Build every shard in the parent, once: the catalog-wide
+        # shape/spec lists are shared across all of them, and worker
+        # processes inherit their shards through the fork (or adopt the
+        # pickled copies under a spawn start method) instead of each
+        # rebuilding the full channel list.
+        if restored is not None:
+            built = restored
+        else:
+            shapes = channel_shapes(self.config)
+            all_channels = self.config.channels()
+            built = [
+                ChannelShard(
+                    self.config, i,
+                    shapes=shapes, all_channels=all_channels,
+                )
+                for i in range(shards)
             ]
+        if self.jobs <= 1:
+            self._shards = built
             return
+        self._layout = EpochShmLayout(self.config)
+        self._segment = ParentSegment(self._layout)
         assignments = [
             [i for i in range(shards) if i % self.jobs == w]
             for w in range(self.jobs)
         ]
         for owned in assignments:
             parent_conn, child_conn = mp.Pipe()
-            owned_states = (
-                [restored[i] for i in owned] if restored is not None else None
-            )
+            owned_states = [built[i] for i in owned]
             worker = mp.Process(
                 target=_worker_main,
-                args=(child_conn, self.config, owned, owned_states),
+                args=(
+                    child_conn, self.config, owned, owned_states,
+                    self._segment.name,
+                ),
                 daemon=False,
             )
             worker.start()
@@ -710,6 +943,15 @@ class ShardedSimulator:
             self._conns.append(parent_conn)
         for conn in self._conns:
             self._expect(conn, "ready")
+
+    @staticmethod
+    def _send(conn, message) -> None:
+        """Send a control message; a dead worker is an engine error, not
+        a raw ``BrokenPipeError`` (close() still tears everything down)."""
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):
+            raise ShardEngineError("shard worker died unexpectedly") from None
 
     def _expect(self, conn, kind: str):
         try:
@@ -726,17 +968,36 @@ class ShardedSimulator:
         self, t_end: float, capacities: Dict[int, np.ndarray]
     ) -> List[EpochReport]:
         self._start()
+        started = time.perf_counter()
+        kernel_seconds = 0.0
         if self._shards is not None:
             reports = []
             for shard in self._shards:
                 shard.set_capacities(capacities)
+                k0 = time.process_time()
                 reports.append(shard.advance_epoch(t_end))
-            return reports
-        for conn in self._conns:
-            conn.send(("epoch", t_end, capacities))
-        reports = []
-        for conn in self._conns:
-            reports.extend(self._expect(conn, "ok"))
+                kernel_seconds += time.process_time() - k0
+        else:
+            for conn in self._conns:
+                self._send(conn, ("epoch", t_end, capacities))
+            for conn in self._conns:
+                self._expect(conn, "ok")
+            # Every worker has acked; map the blocks back in fixed shard
+            # order (the merge's reduction-order contract).
+            reports = []
+            buf = self._segment.buf
+            interval = self.config.interval_seconds
+            for index in range(self.config.effective_shards):
+                views = self._layout.views(buf, index)
+                kernel_seconds += float(views["kernel_seconds"][0])
+                reports.append(
+                    report_from_views(
+                        views, index, self._layout.owned_ids[index], interval
+                    )
+                )
+        wall = time.perf_counter() - started
+        self.phase_seconds["kernel"] += kernel_seconds
+        self.phase_seconds["ipc"] += max(0.0, wall - kernel_seconds)
         return reports
 
     @staticmethod
@@ -793,8 +1054,11 @@ class ShardedSimulator:
         if self._run_state is not None:
             return
         config = self.config
+        started = time.perf_counter()
+        capacities = self._bootstrap_capacities()
+        self.phase_seconds["controller"] += time.perf_counter() - started
         self._run_state = _CatalogRunState(
-            capacities=self._bootstrap_capacities(),
+            capacities=capacities,
             num_epochs=int(
                 math.ceil(config.horizon_seconds / config.interval_seconds)
             ),
@@ -831,9 +1095,10 @@ class ShardedSimulator:
         horizon = config.horizon_seconds
         k = state.epoch + 1
         t_end = min(k * interval, horizon)
-        merged = merge_epoch_reports(
-            self._advance_all(t_end, state.capacities)
-        )
+        reports = self._advance_all(t_end, state.capacities)
+        merge_started = time.perf_counter()
+        merged = merge_epoch_reports(reports)
+        self.phase_seconds["merge"] += time.perf_counter() - merge_started
         self._clock.now = t_end
         state.epoch = k
         state.epoch_times.append(t_end)
@@ -854,7 +1119,11 @@ class ShardedSimulator:
         if t_end + 1e-9 >= horizon or k >= state.num_epochs:
             state.done = True
         else:
+            controller_started = time.perf_counter()
             state.capacities = self._reprovision(t_end, merged)
+            self.phase_seconds["controller"] += (
+                time.perf_counter() - controller_started
+            )
             decision = self.controller.decisions[-1]
         return self._epoch_payload(k, t_end, merged, decision)
 
@@ -965,7 +1234,7 @@ class ShardedSimulator:
         if self._shards is not None:
             return list(self._shards)
         for conn in self._conns:
-            conn.send(("snapshot",))
+            self._send(conn, ("snapshot",))
         shards: List[ChannelShard] = []
         for conn in self._conns:
             shards.extend(self._expect(conn, "ok"))

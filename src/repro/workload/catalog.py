@@ -128,6 +128,8 @@ __all__ = [
     "channel_sessions",
     "shard_channel_ids",
     "build_shard_trace",
+    "ShardTraceArrays",
+    "build_shard_trace_arrays",
 ]
 
 
@@ -764,3 +766,74 @@ def build_shard_trace(
         "num_sessions": len(sessions),
     }
     return Trace(config_summary=summary, sessions=sessions)
+
+
+@dataclass(frozen=True)
+class ShardTraceArrays:
+    """One shard's trace as parallel arrays, sorted by (time, channel).
+
+    The structure-of-arrays twin of :func:`build_shard_trace`: the same
+    sessions in the same order, without materializing one
+    :class:`~repro.workload.trace.Session` object per arrival.  ``times``
+    is nondecreasing with a stable channel-id tiebreak —
+    ``np.lexsort((channels, times))`` orders identically to the Session
+    sort key ``(arrival_time, channel)``, including stability, so the
+    fused kernel admits users in exactly the order the per-channel
+    kernel would.
+    """
+
+    times: np.ndarray  # float64, sorted
+    channels: np.ndarray  # int64 global channel ids
+    start_chunks: np.ndarray  # int64
+    upload_capacities: np.ndarray  # float64
+
+    @property
+    def num_sessions(self) -> int:
+        return int(self.times.size)
+
+
+def build_shard_trace_arrays(
+    config: CatalogConfig, channel_ids: Sequence[int],
+    shapes: Optional[Sequence[ChannelShape]] = None,
+) -> ShardTraceArrays:
+    """Assemble one shard's trace directly as sorted parallel arrays.
+
+    Samples exactly the same per-channel streams as
+    :func:`build_shard_trace` (stable keys, identical draw order) and
+    merges them with the same (arrival_time, channel) ordering.
+    """
+    diurnal = DiurnalPattern()
+    if shapes is None:
+        all_shapes = channel_shapes(config)
+        shapes = [all_shapes[c] for c in channel_ids]
+    else:
+        shapes = list(shapes)
+    times_parts: List[np.ndarray] = []
+    channel_parts: List[np.ndarray] = []
+    start_parts: List[np.ndarray] = []
+    upload_parts: List[np.ndarray] = []
+    for shape in shapes:
+        times, starts, uploads = channel_sessions(config, shape, diurnal)
+        times_parts.append(np.asarray(times, dtype=float))
+        channel_parts.append(
+            np.full(times.size, shape.channel_id, dtype=np.int64)
+        )
+        start_parts.append(np.asarray(starts, dtype=np.int64))
+        upload_parts.append(np.asarray(uploads, dtype=float))
+    if times_parts:
+        times = np.concatenate(times_parts)
+        channels = np.concatenate(channel_parts)
+        starts = np.concatenate(start_parts)
+        uploads = np.concatenate(upload_parts)
+    else:
+        times = np.empty(0)
+        channels = np.empty(0, dtype=np.int64)
+        starts = np.empty(0, dtype=np.int64)
+        uploads = np.empty(0)
+    order = np.lexsort((channels, times))
+    return ShardTraceArrays(
+        times=times[order],
+        channels=channels[order],
+        start_chunks=starts[order],
+        upload_capacities=uploads[order],
+    )

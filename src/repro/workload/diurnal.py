@@ -42,6 +42,7 @@ class DiurnalPattern:
     amplitudes: Sequence[float] = (0.9, 1.4)
     widths_hours: Sequence[float] = (1.5, 2.0)
     _norm: float = field(init=False, default=1.0)
+    _peak: float = field(init=False, default=1.0)
 
     def __post_init__(self) -> None:
         if self.base < 0:
@@ -56,10 +57,14 @@ class DiurnalPattern:
             raise ValueError("widths must be > 0")
         # Normalize so the daily mean factor is 1.
         hours = np.linspace(0.0, 24.0, 24 * 60, endpoint=False)
-        mean = float(np.mean(self._raw(hours)))
+        raw = self._raw(hours)
+        mean = float(np.mean(raw))
         if mean <= 0:
             raise ValueError("pattern must have positive mean")
         object.__setattr__(self, "_norm", mean)
+        # The day grid is in hand; cache the peak so per-channel trace
+        # builders don't re-evaluate it.
+        object.__setattr__(self, "_peak", float(np.max(raw) / mean))
 
     def _raw(self, hours: np.ndarray) -> np.ndarray:
         value = np.full_like(hours, self.base, dtype=float)
@@ -85,5 +90,4 @@ class DiurnalPattern:
 
     def peak_factor(self) -> float:
         """Maximum multiplier over the day (flash-crowd intensity)."""
-        hours = np.linspace(0.0, 24.0, 24 * 60, endpoint=False)
-        return float(np.max(self._raw(hours)) / self._norm)
+        return self._peak

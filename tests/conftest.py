@@ -1,0 +1,34 @@
+"""Suite-wide fixtures.
+
+The sharded engine's data path allocates ``multiprocessing.
+shared_memory`` segments (``/dev/shm/psm_*``); the parent engine is the
+single owner and must unlink them on every exit path.  The guard below
+fails the suite if any test — including crashed-worker scenarios —
+leaves a segment behind, so a lifecycle regression cannot hide behind
+passing functional tests.
+"""
+
+import os
+
+import pytest
+
+
+def _shm_segments():
+    try:
+        return {
+            name for name in os.listdir("/dev/shm")
+            if name.startswith("psm_")
+        }
+    except FileNotFoundError:  # non-tmpfs platform: nothing to guard
+        return set()
+
+
+@pytest.fixture(autouse=True, scope="session")
+def no_leaked_shm_segments():
+    before = _shm_segments()
+    yield
+    leaked = _shm_segments() - before
+    assert not leaked, (
+        f"test run leaked shared-memory segments: {sorted(leaked)} "
+        "(the parent engine owns unlink — see repro/sim/shm.py)"
+    )

@@ -1,0 +1,174 @@
+"""Byte-identity of the fused structure-of-arrays catalog kernel.
+
+``ChannelShard`` routes uniform client-server catalogs onto
+:class:`~repro.vod.multi.MultiChannelSimulator` — one structure-of-arrays
+pass per phase over every user of every channel in the shard — while P2P
+and heterogeneous catalogs keep the per-channel ``VoDSimulator``.  The
+contract (docs/performance.md) is that the two kernels are byte-identical
+for any configuration both accept: identical per-channel RNG stream
+consumption order and identical float-reduction orders, hence identical
+engine results bit for bit.
+
+These tests force the per-channel kernel through the routing predicate
+(``channels_are_uniform``) and compare whole engine runs bitwise against
+the fused kernel, across the workload variants that stress different
+code paths (zipf skew, pure diurnal, flash crowds, the geo control
+plane), plus the kernel's internal row-table invariants.
+"""
+
+import numpy as np
+import pytest
+
+import repro.sim.shard as shard_mod
+from repro.sim.shard import make_engine
+from repro.vod.multi import MultiChannelSimulator
+from repro.workload.catalog import catalog_config, geo_catalog_config
+
+RESULT_ARRAYS = (
+    "times", "cloud_used", "peer_used", "provisioned", "shortfall",
+    "populations", "quality_times", "quality",
+)
+RESULT_SCALARS = (
+    "arrivals", "departures", "final_population", "peak_population",
+    "total_retrievals", "unsmooth_retrievals", "mean_sojourn",
+    "steps", "peak_step_events",
+)
+
+
+def small_config(**overrides):
+    params = dict(
+        num_channels=8,
+        chunks_per_channel=4,
+        horizon_hours=0.5,
+        arrival_rate=3.0,
+        num_shards=4,
+        dt=60.0,
+        interval_minutes=10.0,
+        phase_jitter_hours=6.0,
+        flash_fraction=0.5,
+        flash_hour=0.25,
+        flash_width_hours=0.25,
+        flash_amplitude=4.0,
+    )
+    params.update(overrides)
+    return catalog_config(**params)
+
+
+def run_engine(config, jobs=1, force_per_channel=False):
+    """Run the catalog once; optionally pin the per-channel kernel.
+
+    The routing predicate is patched in :mod:`repro.sim.shard`'s
+    namespace, where ``ChannelShard`` looks it up; shards are built in
+    the parent process, so the patch holds for any worker count.
+    """
+    original = shard_mod.channels_are_uniform
+    if force_per_channel:
+        shard_mod.channels_are_uniform = lambda channels: False
+    try:
+        with make_engine(config, jobs=jobs) as engine:
+            return engine.run()
+    finally:
+        shard_mod.channels_are_uniform = original
+
+
+def assert_results_identical(a, b):
+    for name in RESULT_ARRAYS:
+        assert getattr(a, name).tobytes() == getattr(b, name).tobytes(), name
+    for name in RESULT_SCALARS:
+        assert getattr(a, name) == getattr(b, name), name
+    assert a.channel_populations == b.channel_populations
+    assert a.epoch_times == b.epoch_times
+    assert a.vm_cost_series == b.vm_cost_series
+    assert len(a.decisions) == len(b.decisions)
+    for k, (da, db) in enumerate(zip(a.decisions, b.decisions)):
+        assert da.per_channel_capacity.keys() == db.per_channel_capacity.keys()
+        for cid, cap in da.per_channel_capacity.items():
+            assert cap.tobytes() == \
+                db.per_channel_capacity[cid].tobytes(), (k, cid)
+
+
+class TestFusedKernelParity:
+    """Fused SoA kernel vs the per-channel kernel, bit for bit."""
+
+    @pytest.mark.parametrize("variant,overrides", [
+        ("zipf", {}),
+        ("diurnal", dict(phase_jitter_hours=9.0, flash_fraction=0.0)),
+        ("flash", dict(flash_fraction=0.4, flash_amplitude=6.0)),
+    ])
+    def test_catalog_variants(self, variant, overrides):
+        config = small_config(**overrides)
+        reference = run_engine(config, force_per_channel=True)
+        fused = run_engine(config)
+        assert_results_identical(reference, fused)
+
+    def test_geo_catalog(self):
+        config = geo_catalog_config(
+            num_channels=4, chunks_per_channel=4, horizon_hours=0.5,
+            arrival_rate=3.0, num_shards=4, dt=60.0, interval_minutes=10.0,
+            topology="us-eu",
+        )
+        reference = run_engine(config, force_per_channel=True)
+        fused = run_engine(config)
+        assert_results_identical(reference, fused)
+        assert reference.epoch_discounts == fused.epoch_discounts
+        assert reference.epoch_remote_fractions == fused.epoch_remote_fractions
+
+    def test_fused_kernel_actually_selected(self):
+        """Guard the routing: the parity above must compare two kernels."""
+        config = small_config()
+        shard = shard_mod.ChannelShard(config, 0)
+        assert isinstance(shard.sim, MultiChannelSimulator)
+
+    def test_workers_do_not_change_fused_results(self):
+        """jobs=1 vs an uneven jobs=3 split over the shm epoch path."""
+        config = small_config()
+        assert_results_identical(
+            run_engine(config, jobs=1), run_engine(config, jobs=3)
+        )
+
+
+class TestRowTableInvariants:
+    """The kernel's dense row table under churn (docs/performance.md)."""
+
+    def _stepped(self, steps=40):
+        config = small_config()
+        shard = shard_mod.ChannelShard(config, 0)
+        sim = shard.sim
+        assert isinstance(sim, MultiChannelSimulator)
+        for _ in range(steps):
+            sim.step()
+        return sim
+
+    def test_live_rows_match_population(self):
+        sim = self._stepped()
+        n = sim._n
+        alive = int(np.count_nonzero(sim._row_alive[:n]))
+        assert alive == sim.population()
+        assert n >= alive  # dead rows linger until the lazy compaction
+
+    def test_compaction_preserves_order_and_drops_dead(self):
+        sim = self._stepped()
+        n = sim._n
+        live_before = [
+            (int(sim._row_chan[i]), float(sim._row_enter[i]),
+             float(sim._row_received[i]))
+            for i in range(n) if sim._row_alive[i]
+        ]
+        count = sim._compact()
+        assert count == len(live_before)
+        assert bool(sim._row_alive[:count].all())
+        live_after = [
+            (int(sim._row_chan[i]), float(sim._row_enter[i]),
+             float(sim._row_received[i]))
+            for i in range(count)
+        ]
+        assert live_after == live_before  # stable gather, admission order
+
+    def test_dead_rows_never_look_held(self):
+        """Departed rows must not re-enter the hold-release scan."""
+        from repro.vod.multi import HOLDING
+
+        sim = self._stepped()
+        n = sim._n
+        dead = ~sim._row_alive[:n]
+        assert not np.any(sim._row_chunk[:n][dead] == HOLDING)
