@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""CI gate: validate an ``ablation-controllers`` summary artifact.
+
+Run after ``repro sweep ablation-controllers`` and point it at the
+sweep's output directory (or the summary file itself).  Fails (exit 1)
+unless the artifact
+
+* carries the expected format tag and schema version,
+* lists exactly the registered summary metrics,
+* has a row for every registered controller policy, and
+* every row carries every metric.
+
+This is what keeps a new policy honest: registering a controller without
+it surviving the head-to-head bench turns this gate red.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.controller import controller_names
+from repro.experiments.controllers import (
+    CONTROLLER_SUMMARY_SCHEMA,
+    SUMMARY_METRICS,
+)
+
+
+def check(path: Path) -> int:
+    if path.is_dir():
+        path = path / "ablation-controllers" / "summary.json"
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read summary artifact {path}: {exc}", file=sys.stderr)
+        return 1
+
+    problems = []
+    if payload.get("format") != "repro-controller-summary":
+        problems.append(f"bad format tag: {payload.get('format')!r}")
+    if payload.get("schema") != CONTROLLER_SUMMARY_SCHEMA:
+        problems.append(
+            f"schema {payload.get('schema')!r} != {CONTROLLER_SUMMARY_SCHEMA}"
+        )
+    if payload.get("metrics") != list(SUMMARY_METRICS):
+        problems.append(f"metrics drifted: {payload.get('metrics')!r}")
+
+    rows = payload.get("rows", [])
+    seen = {row.get("controller") for row in rows}
+    missing = set(controller_names()) - seen
+    if missing:
+        problems.append(f"no rows for policies: {sorted(missing)}")
+    for row in rows:
+        for metric in SUMMARY_METRICS:
+            if metric not in row:
+                problems.append(
+                    f"row {row.get('catalog')}/{row.get('controller')} "
+                    f"lacks {metric}"
+                )
+
+    if problems:
+        for problem in problems:
+            print(f"summary artifact invalid: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"controller summary OK: {len(rows)} rows, "
+        f"{len(seen)} policies, schema {CONTROLLER_SUMMARY_SCHEMA}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "path",
+        type=Path,
+        help="sweep output directory (or the summary.json itself)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

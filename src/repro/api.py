@@ -68,8 +68,9 @@ __all__ = [
 ]
 
 #: Bump when the checkpoint payload layout changes; old checkpoints then
-#: fail loudly instead of being misread.
-CHECKPOINT_SCHEMA = 1
+#: fail loudly instead of being misread.  Schema 2 added
+#: :attr:`EngineConfig.controller`.
+CHECKPOINT_SCHEMA = 2
 
 #: The deprecated environment fallback for :attr:`EngineConfig.workers`.
 WORKERS_ENV_VAR = "REPRO_CATALOG_JOBS"
@@ -143,11 +144,16 @@ class EngineConfig:
         Optional arrival-rate predictor registry key (e.g. ``"ewma"``;
         see ``repro.experiments.registry.PREDICTORS``).  ``None`` keeps
         the paper's last-interval rule.
+    controller:
+        Optional provisioning-policy registry key (e.g. ``"mpc"``; see
+        ``repro.core.controller.CONTROLLERS``).  ``None`` keeps the
+        paper controller.
     """
 
     spec: EngineSpec
     workers: Optional[int] = None
     predictor: Optional[str] = None
+    controller: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.spec, (ScenarioConfig, CatalogConfig)):
@@ -161,6 +167,22 @@ class EngineConfig:
                 raise ValueError(
                     "the closed-loop engine is single-process; "
                     "workers must be 1 (or None) for a ScenarioConfig spec"
+                )
+        if self.predictor is not None:
+            from repro.experiments.registry import PREDICTORS
+
+            if self.predictor not in PREDICTORS:
+                raise ValueError(
+                    f"unknown predictor {self.predictor!r} "
+                    f"(registered: {', '.join(PREDICTORS)})"
+                )
+        if self.controller is not None:
+            from repro.core.controller import CONTROLLERS
+
+            if self.controller not in CONTROLLERS:
+                raise ValueError(
+                    f"unknown controller {self.controller!r} "
+                    f"(registered: {', '.join(CONTROLLERS)})"
                 )
 
     @property
@@ -253,11 +275,16 @@ def _build_engine(config: EngineConfig):
     if config.kind == "closed-loop":
         from repro.experiments.runner import ClosedLoopEngine
 
-        return ClosedLoopEngine(config.spec, predictor=predictor)
+        return ClosedLoopEngine(
+            config.spec, predictor=predictor, controller=config.controller
+        )
     from repro.sim.shard import make_engine
 
     return make_engine(
-        config.spec, jobs=config.resolved_workers(), predictor=predictor
+        config.spec,
+        jobs=config.resolved_workers(),
+        predictor=predictor,
+        controller=config.controller,
     )
 
 
@@ -378,22 +405,27 @@ def open_run(
     *,
     workers: Optional[int] = None,
     predictor: Optional[str] = None,
+    controller: Optional[str] = None,
 ) -> Run:
     """Open a run for a config (the engine is chosen from the spec type).
 
     A bare :class:`~repro.experiments.config.ScenarioConfig` /
     :class:`~repro.workload.catalog.CatalogConfig` is accepted and
-    wrapped, with ``workers`` / ``predictor`` as the remaining
-    :class:`EngineConfig` fields.  The engine bootstraps lazily on the
-    first epoch, so opening a run is cheap.
+    wrapped, with ``workers`` / ``predictor`` / ``controller`` as the
+    remaining :class:`EngineConfig` fields.  The engine bootstraps
+    lazily on the first epoch, so opening a run is cheap.
     """
     if not isinstance(config, EngineConfig):
         config = EngineConfig(
-            spec=config, workers=workers, predictor=predictor
+            spec=config,
+            workers=workers,
+            predictor=predictor,
+            controller=controller,
         )
-    elif workers is not None or predictor is not None:
+    elif workers is not None or predictor is not None \
+            or controller is not None:
         raise TypeError(
-            "pass workers/predictor inside the EngineConfig, "
+            "pass workers/predictor/controller inside the EngineConfig, "
             "not alongside it"
         )
     return Run(_build_engine(config), config)

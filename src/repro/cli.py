@@ -67,6 +67,7 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
+    from repro.core.controller import controller_names
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -100,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--hours", type=float, default=12.0)
     run.add_argument("--scale", choices=["small", "paper"], default="small")
     run.add_argument("--seed", type=int, default=2011)
+    run.add_argument("--controller", choices=list(controller_names()),
+                     default="paper",
+                     help="provisioning policy (default: the paper's)")
 
     sub.add_parser("info", help="print the paper's configuration")
 
@@ -178,6 +182,10 @@ def _add_catalog_args(parser: argparse.ArgumentParser,
                         help="solve each epoch's geo allocation as an "
                              "exact LP instead of the greedy "
                              "(CI-sized catalogs only)")
+    from repro.core.controller import controller_names
+    parser.add_argument("--controller", choices=list(controller_names()),
+                        default="paper",
+                        help="provisioning policy (default: the paper's)")
     parser.add_argument("--set", action="append", default=[],
                         dest="overrides", metavar="KEY=VALUE",
                         help="override any catalog config knob by its "
@@ -267,7 +275,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         scenario = small_scenario(args.mode, horizon_hours=args.hours,
                                   seed=args.seed)
-    with open_run(scenario) as run:
+    with open_run(scenario, controller=args.controller) as run:
         result = run.result()
     print(format_table(
         ["metric", "value"],
@@ -323,12 +331,17 @@ def _cmd_info(_args: argparse.Namespace) -> int:
 
 
 def _spec_json(spec) -> dict:
+    if "controller" in spec.grid:
+        controller = list(spec.grid["controller"])
+    else:
+        controller = spec.defaults.get("controller", "paper")
     return {
         "name": spec.name,
         "title": spec.title,
         "paper_ref": spec.paper_ref,
         "grid": {k: list(v) for k, v in spec.grid.items()},
         "defaults": dict(spec.defaults),
+        "controller": controller,
         "tags": list(spec.tags),
         "expected_seconds_per_cell": spec.expected_seconds,
         "closed_loop": spec.build is not None,
@@ -452,6 +465,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"in {report.wall_seconds:.1f}s with {args.jobs} job(s) "
               f"[* = cached]",
     ))
+    if "controllers" in spec.tags:
+        import json
+
+        from repro.experiments.controllers import (
+            summary_table,
+            write_controller_summary,
+        )
+
+        summary_path = write_controller_summary(report)
+        with open(summary_path) as handle:
+            headers, table_rows = summary_table(json.load(handle))
+        print()
+        print(format_table(
+            headers, table_rows,
+            title="controller ablation: cost vs quality vs SLA",
+        ))
+        print(f"controller summary: {summary_path}")
     print(f"artifacts: {report.out_dir / args.name}/")
     return 0
 
@@ -523,7 +553,10 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
         return 2
 
     started = time.perf_counter()
-    with open_run(EngineConfig(spec=config, workers=args.jobs)) as run:
+    engine_config = EngineConfig(
+        spec=config, workers=args.jobs, controller=args.controller
+    )
+    with open_run(engine_config) as run:
         if args.stream:
             for snap in run.epochs():
                 print(f"  epoch {snap.index:>3}/{snap.epochs_total} "

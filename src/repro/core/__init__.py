@@ -13,11 +13,24 @@ This package implements the paper's primary contribution (Section V):
   co-locating consecutive chunks of a channel on shared VMs.
 * :mod:`repro.core.predictor` — demand predictors: the paper's
   last-interval rule plus moving-average and EWMA extensions.
+* :mod:`repro.core.controller` — the provisioning-controller protocol,
+  the shared observe/predict/analyze skeleton, the rival-policy zoo
+  (reactive, Adapt, PID, MPC) and the controller registry.
 * :mod:`repro.core.provisioner` — the dynamic cloud provisioning controller
   that closes the loop every interval T.
-* :mod:`repro.core.sla` — consumer-side SLA terms and budget accounting.
+* :mod:`repro.core.sla` — consumer-side SLA terms, budget accounting and
+  the SLA penalty model scored by the controller ablation.
 """
 
+from repro.core.controller import (
+    AdaptEstimator,
+    Controller,
+    PIDLoop,
+    ProvisioningControllerBase,
+    ReactiveScaler,
+    controller_class,
+    controller_names,
+)
 from repro.core.demand import ChannelDemand, DemandEstimator, aggregate_demand
 from repro.core.packing import PackedVM, PackingResult, pack_allocations
 from repro.core.predictor import (
@@ -26,7 +39,7 @@ from repro.core.predictor import (
     MovingAveragePredictor,
 )
 from repro.core.provisioner import ProvisioningController, ProvisioningDecision
-from repro.core.sla import BudgetLedger, SLATerms
+from repro.core.sla import BudgetLedger, SLAPenaltyModel, SLATerms
 from repro.core.storage_rental import (
     StoragePlan,
     StorageProblem,
@@ -42,6 +55,13 @@ from repro.core.vm_allocation import (
 )
 
 __all__ = [
+    "AdaptEstimator",
+    "Controller",
+    "PIDLoop",
+    "ProvisioningControllerBase",
+    "ReactiveScaler",
+    "controller_class",
+    "controller_names",
     "ChannelDemand",
     "DemandEstimator",
     "aggregate_demand",
@@ -54,6 +74,7 @@ __all__ = [
     "ProvisioningController",
     "ProvisioningDecision",
     "BudgetLedger",
+    "SLAPenaltyModel",
     "SLATerms",
     "StoragePlan",
     "StorageProblem",

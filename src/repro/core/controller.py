@@ -1,0 +1,742 @@
+"""The provisioning-controller protocol and the rival-policy zoo.
+
+The paper has exactly one provisioning policy: last-interval prediction
+plus the Section V threshold replan, wired through
+:class:`~repro.core.provisioner.ProvisioningController` (single region)
+and :class:`~repro.geo.controller.GeoProvisioningController` (multi
+region).  This module extracts the shared skeleton both controllers run
+— close the tracker interval, pick per-channel target rates, run the
+Section IV demand analysis, optionally reshape the demand vector, then
+optimize/negotiate/apply — so a *policy* is a small strategy over that
+skeleton rather than a fork of the whole loop:
+
+* :class:`Controller` — the structural protocol every engine drives
+  (``bootstrap`` / ``run_interval`` / ``provision`` / ``decisions``).
+* :class:`ProvisioningControllerBase` — the shared skeleton.  The paper
+  controller IS this skeleton with the default hooks; byte-for-byte, its
+  ``run_interval`` performs the same operations in the same order as the
+  historical monolithic method.
+* Policy mixins — :class:`ReactivePolicy`, :class:`AdaptPolicy`,
+  :class:`PIDPolicy`, :class:`MPCPolicy` — override one of two hooks:
+  ``_target_rates`` (what arrival rates to provision for) or
+  ``_shape_demands`` (how to transform the analyzed demand vector).
+  Each mixin composes with either concrete controller, so every policy
+  exists in a single-region and a geo flavor without duplication.
+* :data:`CONTROLLERS` — the registry keyed by the ``controller`` knob
+  (:class:`repro.api.EngineConfig`, ``repro run/catalog/geo
+  --controller``, the ``ablation-controllers`` scenarios).  Classes are
+  resolved lazily by dotted path so this module never imports the geo
+  layer at import time (the geo package imports the core one).
+
+The rival policies:
+
+``reactive``
+    Threshold scaling with hysteresis: hold the provisioned target rate
+    until the observed rate breaks out of a band, then re-target with
+    headroom.  The classic rule-based autoscaler baseline.
+``adapt``
+    An Adapt-style proactive estimator with weighted history (after the
+    OpenDC autoscaling prototype): per-channel exponentially weighted
+    level + trend, with the characteristic asymmetric damping of
+    negative trends (scale-down 15x more cautiously than scale-up).
+``pid``
+    A PID loop on the demand/grant utilization error, acting as a
+    bounded multiplier on the demand vector, with conditional-
+    integration anti-windup.
+``mpc``
+    Receding-horizon model-predictive control: forecast demand growth
+    over the horizon, provision for the window's peak, and bound the
+    anticipatory demand by solving the *exact*
+    :class:`~repro.geo.allocation.GeoVMProblem` LP (PR 4's solver) over
+    the shaped demand — falling back to the greedy when the grown
+    demand makes the LP infeasible under the budget.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Protocol, Sequence, \
+    Tuple
+
+import numpy as np
+
+from repro.core.demand import ChannelDemand, ChunkKey
+from repro.core.predictor import LastIntervalPredictor
+from repro.core.sla import BudgetLedger
+from repro.vod.tracker import IntervalStats
+
+__all__ = [
+    "Controller",
+    "ProvisioningControllerBase",
+    "ReactiveScaler",
+    "AdaptEstimator",
+    "PIDLoop",
+    "ReactivePolicy",
+    "AdaptPolicy",
+    "PIDPolicy",
+    "MPCPolicy",
+    "ControllerInfo",
+    "CONTROLLERS",
+    "controller_names",
+    "controller_class",
+    "storage_demand_shifted",
+]
+
+
+def storage_demand_shifted(
+    last: Mapping[ChunkKey, float],
+    current: Mapping[ChunkKey, float],
+    threshold: float,
+) -> bool:
+    """Has chunk demand shifted enough to replan storage (Section V-B)?
+
+    True when videos were added/removed (key sets differ) or the
+    relative L1 change of the demand vector exceeds ``threshold``.
+    Shared by the single-region and geo controllers so the replan rule
+    cannot silently diverge between them.
+    """
+    if set(current) != set(last):
+        return True  # videos added or removed
+    baseline = sum(last.values())
+    if baseline <= 0:
+        return any(v > 0 for v in current.values())
+    shift = sum(abs(current[k] - last.get(k, 0.0)) for k in current)
+    return shift / baseline > threshold
+
+
+class Controller(Protocol):
+    """What every provisioning controller looks like to an engine.
+
+    The engines (:class:`repro.experiments.runner.ClosedLoopEngine`,
+    :class:`repro.sim.shard.ShardedSimulator`,
+    :class:`repro.sim.shard.GeoShardedSimulator`) only ever call these
+    three methods and read ``decisions``; anything satisfying this
+    protocol plugs into the closed loop.
+    """
+
+    decisions: List[Any]
+
+    def bootstrap(
+        self,
+        now: float,
+        expected_rates: Mapping[int, float],
+        *,
+        peer_upload: Optional[float] = None,
+    ) -> Any:
+        """Initial deployment from expected per-channel arrival rates."""
+        ...
+
+    def run_interval(
+        self,
+        now: float,
+        *,
+        peer_upload: Optional[float] = None,
+    ) -> Any:
+        """One periodic provisioning round at time ``now``."""
+        ...
+
+    def provision(self, now: float, demands: List[ChannelDemand]) -> Any:
+        """Optimize, negotiate and apply a set of channel demands."""
+        ...
+
+
+class ProvisioningControllerBase:
+    """The shared observe -> predict -> analyze -> provision skeleton.
+
+    Subclasses provide :meth:`provision` (what to optimize and how to
+    apply it — the single-region Eqn (6)/(7) pipeline or the geo
+    allocator) and may override the two policy hooks:
+
+    * :meth:`_target_rates` — per-channel arrival rates to provision
+      for, given the closed interval's statistics.  The default is the
+      paper's rule: feed each observation to the predictor and ask it
+      for the next rate (last-interval by default).
+    * :meth:`_shape_demands` — transform the analyzed demand vector
+      before the optimizers see it.  The default is the identity; the
+      PID and MPC policies act here.
+
+    ``bootstrap`` never shapes: the initial deployment has no history
+    for any policy to act on, so it is policy-invariant by construction
+    (and byte-identical to the paper's).
+
+    Parameters
+    ----------
+    storage_replan_threshold:
+        Relative L1 change in the chunk-demand vector that triggers a
+        storage replan ("if the demand for chunks has changed
+        significantly since last interval", Section V-B).
+    min_capacity_per_chunk:
+        Optional floor (bytes/s) on granted capacity for chunks with a
+        nonzero expected population; guards the first interval after a
+        channel wakes up.
+    """
+
+    #: Registry key of the policy this class implements.
+    policy = "paper"
+
+    def __init__(
+        self,
+        estimator,
+        tracker,
+        broker,
+        terms,
+        *,
+        predictor=None,
+        storage_replan_threshold: float = 0.25,
+        min_capacity_per_chunk: float = 0.0,
+    ) -> None:
+        if storage_replan_threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.estimator = estimator
+        self.tracker = tracker
+        self.broker = broker
+        self.terms = terms
+        self.predictor = predictor or LastIntervalPredictor()
+        self.storage_replan_threshold = storage_replan_threshold
+        self.min_capacity_per_chunk = min_capacity_per_chunk
+        self.ledger = BudgetLedger(terms)
+        self.decisions: List[Any] = []
+        self._last_chunk_demand: Optional[Dict[Any, float]] = None
+        self._storage_planned = False
+
+    # ------------------------------------------------------------------
+    @property
+    def vm_bandwidth(self) -> float:
+        return self.estimator.model.vm_bandwidth
+
+    @property
+    def chunk_size_bytes(self) -> float:
+        return self.estimator.model.chunk_size_bytes
+
+    def _should_replan_storage(
+        self, chunk_demand: Mapping[Any, float]
+    ) -> bool:
+        if not self._storage_planned:
+            return True
+        return storage_demand_shifted(
+            self._last_chunk_demand or {},
+            chunk_demand,
+            self.storage_replan_threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # Policy hooks
+    # ------------------------------------------------------------------
+    def _target_rates(
+        self, now: float, interval_stats: Sequence[IntervalStats]
+    ) -> Dict[int, float]:
+        """Per-channel arrival rates to provision the next interval for.
+
+        The paper's rule: every observation goes to the predictor, which
+        then answers for the channel.  Policies that form their own
+        rate estimate override this (the predictor is theirs to ignore).
+        """
+        del now
+        predicted: Dict[int, float] = {}
+        for stats in interval_stats:
+            self.predictor.observe(stats.channel_id, stats.arrival_rate)
+            predicted[stats.channel_id] = self.predictor.predict(
+                stats.channel_id
+            )
+        return predicted
+
+    def _shape_demands(
+        self, now: float, demands: List[ChannelDemand]
+    ) -> List[ChannelDemand]:
+        """Transform the analyzed demand vector (identity by default)."""
+        del now
+        return demands
+
+    # ------------------------------------------------------------------
+    # The subclass-provided optimization pipeline
+    # ------------------------------------------------------------------
+    def provision(self, now: float, demands: List[ChannelDemand]):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Entry points (shared verbatim by every controller)
+    # ------------------------------------------------------------------
+    def bootstrap(
+        self,
+        now: float,
+        expected_rates: Mapping[int, float],
+        *,
+        peer_upload: Optional[float] = None,
+    ):
+        """Initial deployment from expected per-channel arrival rates.
+
+        Builds synthetic interval statistics (no observations; the
+        empirical estimator falls back to the prior viewing pattern) and
+        runs the normal decision pipeline. The tracker and predictor are
+        untouched.
+        """
+        synthetic: List[IntervalStats] = [
+            self.tracker.empty_stats(channel_id)
+            for channel_id in sorted(expected_rates)
+        ]
+        demands = self.estimator.estimate_all(
+            synthetic,
+            arrival_rates=dict(expected_rates),
+            peer_upload=peer_upload,
+        )
+        return self.provision(now, demands)
+
+    def run_interval(
+        self,
+        now: float,
+        *,
+        peer_upload: Optional[float] = None,
+    ):
+        """Execute one periodic provisioning round at time ``now``.
+
+        ``peer_upload`` optionally injects the measured mean peer upload
+        (e.g. the simulator's live value) instead of the tracker's
+        per-interval sample mean.
+        """
+        interval_stats: List[IntervalStats] = self.tracker.close_interval()
+        predicted = self._target_rates(now, interval_stats)
+        demands = self.estimator.estimate_all(
+            interval_stats, arrival_rates=predicted, peer_upload=peer_upload
+        )
+        return self.provision(now, self._shape_demands(now, demands))
+
+
+# ----------------------------------------------------------------------
+# Policy state machines (standalone so tests can hand-compute traces)
+# ----------------------------------------------------------------------
+
+class ReactiveScaler:
+    """Per-key threshold scaling with hysteresis.
+
+    Holds the last provisioned target until the observed rate breaks
+    out of the ``[down_threshold, up_threshold]`` band around it, then
+    re-targets at ``observed * (1 + headroom)``.  The hold keeps the
+    actuator from thrashing on noise; the headroom gives breach
+    responses a margin so consecutive intervals of steady growth do not
+    each trigger a re-target.
+    """
+
+    def __init__(
+        self,
+        up_threshold: float = 1.1,
+        down_threshold: float = 0.7,
+        headroom: float = 0.2,
+    ) -> None:
+        if not 0.0 < down_threshold <= 1.0 <= up_threshold:
+            raise ValueError(
+                "need down_threshold in (0, 1] and up_threshold >= 1"
+            )
+        if headroom < 0:
+            raise ValueError("headroom must be >= 0")
+        self.up_threshold = float(up_threshold)
+        self.down_threshold = float(down_threshold)
+        self.headroom = float(headroom)
+        self._held: Dict[Any, float] = {}
+
+    def update(self, key: Any, observed: float) -> float:
+        """Observe one rate; return the (possibly held) target rate."""
+        held = self._held.get(key)
+        if (
+            held is None
+            or observed > held * self.up_threshold
+            or observed < held * self.down_threshold
+        ):
+            held = observed * (1.0 + self.headroom)
+        self._held[key] = held
+        return held
+
+
+class AdaptEstimator:
+    """Weighted level + trend estimator (Adapt-style proactive rule).
+
+    Per key, maintains an exponentially weighted level and trend::
+
+        level' = w * r + (1 - w) * level
+        trend' = w * (level' - level) + (1 - w) * trend
+
+    and predicts ``level' + trend'`` — except a *negative* trend is
+    divided by ``negative_damping`` first (the OpenDC Adapt prototype's
+    R/15 rule): scale down an order of magnitude more cautiously than
+    up, because under-provisioning hurts viewers while over-provisioning
+    only costs money.
+    """
+
+    def __init__(
+        self, weight: float = 0.5, negative_damping: float = 15.0
+    ) -> None:
+        if not 0.0 < weight <= 1.0:
+            raise ValueError("weight must be in (0, 1]")
+        if negative_damping < 1.0:
+            raise ValueError("negative damping must be >= 1")
+        self.weight = float(weight)
+        self.negative_damping = float(negative_damping)
+        self._level: Dict[Any, float] = {}
+        self._trend: Dict[Any, float] = {}
+
+    def update(self, key: Any, observed: float) -> float:
+        """Observe one rate; return the damped level+trend prediction."""
+        prev_level = self._level.get(key)
+        if prev_level is None:
+            level, trend = float(observed), 0.0
+        else:
+            w = self.weight
+            level = w * float(observed) + (1.0 - w) * prev_level
+            trend = w * (level - prev_level) + (1.0 - w) * self._trend[key]
+        self._level[key] = level
+        self._trend[key] = trend
+        step = trend if trend >= 0 else trend / self.negative_damping
+        return max(0.0, level + step)
+
+
+class PIDLoop:
+    """A discrete PID loop emitting a clamped multiplicative gain.
+
+    ``update(error)`` returns ``1 + kp*e + ki*sum(e) + kd*de`` clamped
+    to ``[min_gain, max_gain]``.  Anti-windup is conditional
+    integration: the integral term only absorbs the step's error when
+    the *unclamped* output was within the actuation bounds, so a long
+    saturated excursion cannot charge up the integrator and overshoot on
+    the way back.  ``saturated_steps`` counts the clamped updates.
+    """
+
+    def __init__(
+        self,
+        kp: float = 0.6,
+        ki: float = 0.15,
+        kd: float = 0.1,
+        min_gain: float = 0.5,
+        max_gain: float = 4.0,
+    ) -> None:
+        if min_gain <= 0 or max_gain < min_gain:
+            raise ValueError("need 0 < min_gain <= max_gain")
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.kd = float(kd)
+        self.min_gain = float(min_gain)
+        self.max_gain = float(max_gain)
+        self.integral = 0.0
+        self.saturated_steps = 0
+        self._last_error: Optional[float] = None
+
+    def update(self, error: float) -> float:
+        """One step: the clamped gain for this interval's error."""
+        derivative = (
+            0.0 if self._last_error is None else error - self._last_error
+        )
+        self._last_error = float(error)
+        candidate = self.integral + float(error)
+        output = (
+            1.0 + self.kp * error + self.ki * candidate + self.kd * derivative
+        )
+        gain = min(self.max_gain, max(self.min_gain, output))
+        if gain != output:
+            self.saturated_steps += 1  # conditional integration: discard
+        else:
+            self.integral = candidate
+        return gain
+
+
+# ----------------------------------------------------------------------
+# Policy mixins (compose with either concrete controller)
+# ----------------------------------------------------------------------
+
+def _scaled_demand(demand: ChannelDemand, gain: float) -> ChannelDemand:
+    """A channel demand with its cloud-demand vector scaled by ``gain``
+    (``ChannelDemand`` is frozen; the other fields carry over)."""
+    return replace(demand, cloud_demand=demand.cloud_demand * float(gain))
+
+
+class ReactivePolicy:
+    """Reactive threshold scaling over the shared skeleton."""
+
+    policy = "reactive"
+
+    def __init__(
+        self,
+        *args,
+        reactive_up_threshold: float = 1.1,
+        reactive_down_threshold: float = 0.7,
+        reactive_headroom: float = 0.2,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.reactive = ReactiveScaler(
+            up_threshold=reactive_up_threshold,
+            down_threshold=reactive_down_threshold,
+            headroom=reactive_headroom,
+        )
+
+    def _target_rates(self, now, interval_stats):
+        del now
+        return {
+            stats.channel_id: self.reactive.update(
+                stats.channel_id, stats.arrival_rate
+            )
+            for stats in interval_stats
+        }
+
+
+class AdaptPolicy:
+    """Adapt-style weighted-history estimation over the shared skeleton."""
+
+    policy = "adapt"
+
+    def __init__(
+        self,
+        *args,
+        adapt_weight: float = 0.5,
+        adapt_negative_damping: float = 15.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.adapt = AdaptEstimator(
+            weight=adapt_weight, negative_damping=adapt_negative_damping
+        )
+
+    def _target_rates(self, now, interval_stats):
+        del now
+        return {
+            stats.channel_id: self.adapt.update(
+                stats.channel_id, stats.arrival_rate
+            )
+            for stats in interval_stats
+        }
+
+
+class PIDPolicy:
+    """PID on the demand/grant utilization error, shaping the demand.
+
+    The measured signal is the ratio of this interval's analyzed total
+    demand to the capacity actually granted last interval; the error is
+    its excess over ``pid_setpoint``.  The loop's clamped gain
+    multiplies every channel's demand vector, so persistent
+    under-provisioning (ratio > setpoint) escalates the request and
+    slack capacity relaxes it — bounded actuation by construction.
+    """
+
+    policy = "pid"
+
+    def __init__(
+        self,
+        *args,
+        pid_kp: float = 0.6,
+        pid_ki: float = 0.15,
+        pid_kd: float = 0.1,
+        pid_setpoint: float = 1.0,
+        pid_min_gain: float = 0.5,
+        pid_max_gain: float = 4.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if pid_setpoint <= 0:
+            raise ValueError("setpoint must be > 0")
+        self.pid_setpoint = float(pid_setpoint)
+        self.pid = PIDLoop(
+            kp=pid_kp,
+            ki=pid_ki,
+            kd=pid_kd,
+            min_gain=pid_min_gain,
+            max_gain=pid_max_gain,
+        )
+
+    def _last_granted_total(self) -> float:
+        if not self.decisions:
+            return 0.0
+        last = self.decisions[-1]
+        return float(
+            sum(arr.sum() for arr in last.per_channel_capacity.values())
+        )
+
+    def _shape_demands(self, now, demands):
+        del now
+        total = float(sum(d.total_cloud_demand for d in demands))
+        granted = self._last_granted_total()
+        if granted <= 0.0 or total <= 0.0:
+            return demands  # no utilization signal yet
+        error = total / granted - self.pid_setpoint
+        gain = self.pid.update(error)
+        if gain == 1.0:
+            return demands
+        return [_scaled_demand(d, gain) for d in demands]
+
+
+class MPCPolicy:
+    """Receding-horizon MPC with the exact geo LP as the inner solve.
+
+    Each interval: record the analyzed total demand, estimate the
+    per-interval growth factor from the last step, and provision for the
+    anticipated *peak* over the next ``mpc_horizon`` intervals
+    (``growth ** horizon``, growth clamped to ``mpc_max_growth``).  The
+    grown demand is then bounded by reality: the exact
+    :class:`~repro.geo.allocation.GeoVMProblem` LP is solved over it
+    under the VM budget, and each chunk's anticipatory demand is clipped
+    to the capacity that solve could actually place (never below the
+    unshaped analysis).  When the grown demand is infeasible under the
+    budget the LP has no solution — ``mpc_lp_fallbacks`` counts those
+    intervals and the greedy's best-effort partial plan bounds the
+    shaping instead.
+
+    Subclasses say what problem to solve via :meth:`_mpc_topology` and
+    :meth:`_mpc_regional_demands` (a degenerate one-region topology for
+    the single-region controller, the real one for geo).
+    """
+
+    policy = "mpc"
+
+    def __init__(
+        self,
+        *args,
+        mpc_horizon: int = 3,
+        mpc_max_growth: float = 3.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if mpc_horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if mpc_max_growth < 1.0:
+            raise ValueError("max growth must be >= 1")
+        self.mpc_horizon = int(mpc_horizon)
+        self.mpc_max_growth = float(mpc_max_growth)
+        self.mpc_lp_fallbacks = 0
+        self._mpc_rate_history: List[float] = []
+
+    # -- the problem the subclass exposes ------------------------------
+    def _mpc_topology(self):
+        raise NotImplementedError
+
+    def _mpc_regional_demands(
+        self, demands: Sequence[ChannelDemand]
+    ) -> Mapping[str, Mapping[Any, float]]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _mpc_solve(self, demands: Sequence[ChannelDemand]):
+        """Exact LP over the shaped demand; greedy when infeasible."""
+        # Lazy import: the geo package imports the core one at init.
+        from repro.geo.allocation import (
+            GeoVMProblem,
+            greedy_geo_allocation,
+            lp_geo_allocation,
+        )
+
+        problem = GeoVMProblem(
+            topology=self._mpc_topology(),
+            demands=self._mpc_regional_demands(demands),
+            vm_bandwidth=self.vm_bandwidth,
+            budget_per_hour=self.terms.vm_budget_per_hour,
+        )
+        plan = lp_geo_allocation(problem)
+        if not plan.feasible:
+            self.mpc_lp_fallbacks += 1
+            plan = greedy_geo_allocation(problem)
+        return plan
+
+    def _shape_demands(self, now, demands):
+        del now
+        total = float(sum(d.total_cloud_demand for d in demands))
+        history = self._mpc_rate_history
+        prev = history[-1] if history else None
+        history.append(total)
+        if len(history) > self.mpc_horizon + 1:
+            del history[: len(history) - (self.mpc_horizon + 1)]
+        if prev is None or prev <= 0.0 or total <= 0.0:
+            return demands  # no growth signal yet
+        growth = min(self.mpc_max_growth, total / prev)
+        factor = max(1.0, growth ** self.mpc_horizon)
+        shaped = (
+            demands
+            if factor <= 1.0 + 1e-12
+            else [_scaled_demand(d, factor) for d in demands]
+        )
+        plan = self._mpc_solve(shaped)
+        served: Dict[Any, float] = {}
+        for (_viewer, chunk, _serving, _cluster), z in \
+                plan.allocations.items():
+            served[chunk] = served.get(chunk, 0.0) + z * self.vm_bandwidth
+        clipped: List[ChannelDemand] = []
+        for base, grown in zip(demands, shaped):
+            arr = np.asarray(grown.cloud_demand, dtype=float).copy()
+            for i in range(arr.size):
+                cap = served.get((grown.channel_id, i), 0.0)
+                arr[i] = max(
+                    float(base.cloud_demand[i]), min(float(arr[i]), cap)
+                )
+            clipped.append(replace(grown, cloud_demand=arr))
+        return clipped
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ControllerInfo:
+    """One registered policy: its key, blurb, and concrete classes
+    (dotted paths, resolved lazily to keep the core/geo import graph
+    acyclic)."""
+
+    name: str
+    title: str
+    single: Tuple[str, str]  # (module, class) for the single-region flavor
+    geo: Tuple[str, str]  # (module, class) for the multi-region flavor
+
+
+CONTROLLERS: Dict[str, ControllerInfo] = {
+    info.name: info
+    for info in (
+        ControllerInfo(
+            "paper",
+            "last-interval prediction + threshold replan (Section V-B)",
+            ("repro.core.provisioner", "ProvisioningController"),
+            ("repro.geo.controller", "GeoProvisioningController"),
+        ),
+        ControllerInfo(
+            "reactive",
+            "threshold scaling with hysteresis and headroom",
+            ("repro.core.provisioner", "ReactiveProvisioningController"),
+            ("repro.geo.controller", "ReactiveGeoProvisioningController"),
+        ),
+        ControllerInfo(
+            "adapt",
+            "Adapt-style weighted level+trend estimator (OpenDC prototype)",
+            ("repro.core.provisioner", "AdaptProvisioningController"),
+            ("repro.geo.controller", "AdaptGeoProvisioningController"),
+        ),
+        ControllerInfo(
+            "pid",
+            "PID on the demand/grant utilization error, anti-windup",
+            ("repro.core.provisioner", "PIDProvisioningController"),
+            ("repro.geo.controller", "PIDGeoProvisioningController"),
+        ),
+        ControllerInfo(
+            "mpc",
+            "receding-horizon MPC, exact geo LP inner solve",
+            ("repro.core.provisioner", "MPCProvisioningController"),
+            ("repro.geo.controller", "MPCGeoProvisioningController"),
+        ),
+    )
+}
+
+
+def controller_names() -> Tuple[str, ...]:
+    """The registered policy keys, registry order (paper first)."""
+    return tuple(CONTROLLERS)
+
+
+def controller_class(name: str, *, geo: bool = False) -> type:
+    """Resolve a policy key to its concrete controller class.
+
+    ``geo`` selects the multi-region flavor.  Unknown keys fail fast,
+    naming the registered policies (the same style as the predictor
+    registry and ``--set`` preflight).
+    """
+    try:
+        info = CONTROLLERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown controller {name!r} "
+            f"(registered: {', '.join(CONTROLLERS)})"
+        ) from None
+    module_name, class_name = info.geo if geo else info.single
+    return getattr(importlib.import_module(module_name), class_name)

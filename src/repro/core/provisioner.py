@@ -19,6 +19,12 @@ The initial deployment (the paper's "based on the application's empirical
 user scale and viewing pattern information") is :meth:`bootstrap`, which
 runs the same pipeline on operator-supplied expected rates instead of
 tracker measurements.
+
+Steps 1-2 and 5 are the shared skeleton in
+:class:`repro.core.controller.ProvisioningControllerBase`; this module
+owns the single-region optimization pipeline (steps 3-4) and the
+concrete rival-policy controllers obtained by composing the policy
+mixins with it (``repro.core.controller`` documents the policies).
 """
 
 from __future__ import annotations
@@ -29,40 +35,28 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.cloud.broker import Broker, NegotiationError, ResourceRequest, SLAAgreement
-from repro.core.demand import ChannelDemand, ChunkKey, DemandEstimator, aggregate_demand
+from repro.core.controller import (
+    AdaptPolicy,
+    MPCPolicy,
+    PIDPolicy,
+    ProvisioningControllerBase,
+    ReactivePolicy,
+    storage_demand_shifted,
+)
+from repro.core.demand import ChannelDemand, ChunkKey, aggregate_demand
 from repro.core.packing import PackingResult, pack_allocations
-from repro.core.predictor import ArrivalRatePredictor, LastIntervalPredictor
-from repro.core.sla import BudgetLedger, SLATerms
 from repro.core.storage_rental import StoragePlan, StorageProblem, greedy_storage_rental
 from repro.core.vm_allocation import VMAllocationPlan, VMProblem, greedy_vm_allocation
-from repro.vod.tracker import IntervalStats, TrackingServer
 
 __all__ = [
     "ProvisioningDecision",
     "ProvisioningController",
+    "ReactiveProvisioningController",
+    "AdaptProvisioningController",
+    "PIDProvisioningController",
+    "MPCProvisioningController",
     "storage_demand_shifted",
 ]
-
-
-def storage_demand_shifted(
-    last: Mapping[ChunkKey, float],
-    current: Mapping[ChunkKey, float],
-    threshold: float,
-) -> bool:
-    """Has chunk demand shifted enough to replan storage (Section V-B)?
-
-    True when videos were added/removed (key sets differ) or the
-    relative L1 change of the demand vector exceeds ``threshold``.
-    Shared by the single-region and geo controllers so the replan rule
-    cannot silently diverge between them.
-    """
-    if set(current) != set(last):
-        return True  # videos added or removed
-    baseline = sum(last.values())
-    if baseline <= 0:
-        return any(v > 0 for v in current.values())
-    shift = sum(abs(current[k] - last.get(k, 0.0)) for k in current)
-    return shift / baseline > threshold
 
 
 @dataclass
@@ -123,65 +117,17 @@ class ProvisioningDecision:
         return total
 
 
-class ProvisioningController:
-    """Closes the provisioning loop between tracker, analysis and cloud."""
+class ProvisioningController(ProvisioningControllerBase):
+    """Closes the provisioning loop between tracker, analysis and cloud.
 
-    def __init__(
-        self,
-        estimator: DemandEstimator,
-        tracker: TrackingServer,
-        broker: Broker,
-        terms: SLATerms,
-        *,
-        predictor: Optional[ArrivalRatePredictor] = None,
-        storage_replan_threshold: float = 0.25,
-        min_capacity_per_chunk: float = 0.0,
-    ) -> None:
-        """Create a controller.
+    The observe/predict/analyze skeleton (and the policy hooks) live in
+    :class:`~repro.core.controller.ProvisioningControllerBase`; this
+    class supplies the single-region optimization pipeline.
+    """
 
-        Parameters
-        ----------
-        storage_replan_threshold:
-            Relative L1 change in the chunk-demand vector that triggers a
-            storage replan ("if the demand for chunks has changed
-            significantly since last interval", Section V-B).
-        min_capacity_per_chunk:
-            Optional floor (bytes/s) on granted capacity for chunks with a
-            nonzero expected population; guards the first interval after a
-            channel wakes up.
-        """
-        if storage_replan_threshold < 0:
-            raise ValueError("threshold must be >= 0")
-        self.estimator = estimator
-        self.tracker = tracker
-        self.broker = broker
-        self.terms = terms
-        self.predictor = predictor or LastIntervalPredictor()
-        self.storage_replan_threshold = storage_replan_threshold
-        self.min_capacity_per_chunk = min_capacity_per_chunk
-        self.ledger = BudgetLedger(terms)
-        self.decisions: List[ProvisioningDecision] = []
-        self._last_chunk_demand: Optional[Dict[ChunkKey, float]] = None
-        self._storage_planned = False
+    decisions: List[ProvisioningDecision]
 
     # ------------------------------------------------------------------
-    @property
-    def vm_bandwidth(self) -> float:
-        return self.estimator.model.vm_bandwidth
-
-    @property
-    def chunk_size_bytes(self) -> float:
-        return self.estimator.model.chunk_size_bytes
-
-    def _should_replan_storage(self, chunk_demand: Mapping[ChunkKey, float]) -> bool:
-        if not self._storage_planned:
-            return True
-        return storage_demand_shifted(
-            self._last_chunk_demand or {},
-            chunk_demand,
-            self.storage_replan_threshold,
-        )
-
     def _grants_to_channel_arrays(
         self,
         demands: Sequence[ChannelDemand],
@@ -286,54 +232,44 @@ class ProvisioningController:
         )
         return decision
 
-    # ------------------------------------------------------------------
-    # Entry points
-    # ------------------------------------------------------------------
-    def bootstrap(
-        self,
-        now: float,
-        expected_rates: Mapping[int, float],
-        *,
-        peer_upload: Optional[float] = None,
-    ) -> ProvisioningDecision:
-        """Initial deployment from expected per-channel arrival rates.
 
-        Builds synthetic interval statistics (no observations; the
-        empirical estimator falls back to the prior viewing pattern) and
-        runs the normal decision pipeline. The tracker and predictor are
-        untouched.
-        """
-        synthetic: List[IntervalStats] = [
-            self.tracker.empty_stats(channel_id)
-            for channel_id in sorted(expected_rates)
-        ]
-        demands = self.estimator.estimate_all(
-            synthetic,
-            arrival_rates=dict(expected_rates),
-            peer_upload=peer_upload,
-        )
-        return self.provision(now, demands)
+class ReactiveProvisioningController(ReactivePolicy, ProvisioningController):
+    """Single-region reactive threshold scaling (``controller="reactive"``)."""
 
-    def run_interval(
-        self,
-        now: float,
-        *,
-        peer_upload: Optional[float] = None,
-    ) -> ProvisioningDecision:
-        """Execute one periodic provisioning round at time ``now``.
 
-        ``peer_upload`` optionally injects the measured mean peer upload
-        (e.g. the simulator's live value) instead of the tracker's
-        per-interval sample mean.
-        """
-        interval_stats: List[IntervalStats] = self.tracker.close_interval()
+class AdaptProvisioningController(AdaptPolicy, ProvisioningController):
+    """Single-region Adapt-style proactive estimator (``controller="adapt"``)."""
 
-        predicted: Dict[int, float] = {}
-        for stats in interval_stats:
-            self.predictor.observe(stats.channel_id, stats.arrival_rate)
-            predicted[stats.channel_id] = self.predictor.predict(stats.channel_id)
 
-        demands = self.estimator.estimate_all(
-            interval_stats, arrival_rates=predicted, peer_upload=peer_upload
-        )
-        return self.provision(now, demands)
+class PIDProvisioningController(PIDPolicy, ProvisioningController):
+    """Single-region PID demand shaping (``controller="pid"``)."""
+
+
+class MPCProvisioningController(MPCPolicy, ProvisioningController):
+    """Single-region receding-horizon MPC (``controller="mpc"``).
+
+    The inner solve runs the exact geo LP over a degenerate one-region
+    topology wrapping this facility's VM clusters.
+    """
+
+    def _mpc_topology(self):
+        topology = getattr(self, "_mpc_cached_topology", None)
+        if topology is None:
+            # Lazy import: the geo package imports the core one at init.
+            from repro.geo.region import GeoTopology, RegionSpec
+
+            topology = GeoTopology(
+                [
+                    RegionSpec(
+                        "local",
+                        tuple(self.broker.facility.vm_specs.values()),
+                    )
+                ],
+                {},
+                {},
+            )
+            self._mpc_cached_topology = topology
+        return topology
+
+    def _mpc_regional_demands(self, demands):
+        return {"local": aggregate_demand(demands)}

@@ -29,8 +29,7 @@ from repro.experiments.config import (
     scenario_from_env,
     small_scenario,
 )
-from repro.experiments.runner import ClosedLoopEngine, ClosedLoopResult, \
-    run_closed_loop
+from repro.experiments.runner import ClosedLoopEngine, ClosedLoopResult
 from repro.experiments.registry import (
     ScenarioSpec,
     UnknownScenarioError,
@@ -59,7 +58,6 @@ __all__ = [
     "small_scenario",
     "ClosedLoopEngine",
     "ClosedLoopResult",
-    "run_closed_loop",
     "ScenarioSpec",
     "UnknownScenarioError",
     "summarize_closed_loop",

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cloud.cluster import VirtualClusterSpec
+from repro.core.controller import controller_names
 from repro.core.predictor import (
     ArrivalRatePredictor,
     EWMAPredictor,
@@ -118,7 +119,7 @@ class ScenarioSpec:
     run:
         ``run(seed=..., **params) -> dict`` returning flat metrics.
         When ``None``, the default is the closed-loop path:
-        ``summarize_closed_loop(run_closed_loop(build(...)))``.
+        ``summarize_closed_loop(open_run(build(...)).result())``.
     expected_seconds:
         Rough wall-clock per cell at the default (CI-sized) scale — shown
         by ``repro scenarios`` and documented in docs/scenarios.md.
@@ -804,6 +805,46 @@ register(ScenarioSpec(
     run=_run_with_predictor,
     expected_seconds=1.0,
     tags=("ablation",),
+))
+
+def _run_controller_cell(*, seed: int, **params) -> Dict[str, float]:
+    """One (controller, catalog shape) cell of the controller ablation
+    (lazy import: the bench builds on repro.api)."""
+    from repro.experiments.controllers import run_controller_cell
+
+    return run_controller_cell(seed=seed, **params)
+
+
+#: CI-sized shapes for the controller head-to-head: small enough that
+#: the full 5-policy x 3-catalog grid stays sweepable in CI, big enough
+#: that the policies actually diverge (two flash-crowd epochs, a few
+#: hundred viewers).
+_CONTROLLER_ABLATION_DEFAULTS = {
+    "num_channels": 12,
+    "chunks_per_channel": 6,
+    "horizon_hours": 1.0,
+    "arrival_rate": 2.0,
+    "dt": 30.0,
+    "interval_minutes": 15.0,
+    "num_shards": 4,
+    "zipf_exponent": 0.8,
+    "mode": "client-server",
+    "sla_quality_target": 0.98,
+}
+
+register(ScenarioSpec(
+    name="ablation-controllers",
+    title="Provisioning-policy head-to-head: cost vs quality vs SLA",
+    paper_ref="Section V-B controller, vs reactive/Adapt/PID/MPC rivals",
+    grid={
+        "controller": controller_names(),
+        "catalog": ("zipf", "flash", "geo"),
+    },
+    defaults=_CONTROLLER_ABLATION_DEFAULTS,
+    build=None,
+    run=_run_controller_cell,
+    expected_seconds=4.0,
+    tags=("ablation", "controllers", "catalog"),
 ))
 
 register(ScenarioSpec(

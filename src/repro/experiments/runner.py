@@ -8,13 +8,12 @@ into the simulator for the next interval.
 
 :class:`ClosedLoopEngine` exposes the loop one provisioning interval at
 a time (the :mod:`repro.api` streaming/checkpoint protocol, mirroring
-:class:`repro.sim.shard.ShardedSimulator`); :func:`run_closed_loop` is
-the historical monolithic entry point, kept as a thin deprecated shim.
+:class:`repro.sim.shard.ShardedSimulator`); ``repro.api.open_run`` is
+the one-shot entry point.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -25,13 +24,14 @@ from repro.cloud.broker import Broker
 from repro.cloud.scheduler import CloudFacility
 from repro.core.demand import DemandEstimator
 from repro.core.predictor import ArrivalRatePredictor
-from repro.core.provisioner import ProvisioningController, ProvisioningDecision
+from repro.core.controller import controller_class
+from repro.core.provisioner import ProvisioningDecision
 from repro.experiments.config import ScenarioConfig
 from repro.vod.simulator import SimulationResult, VoDSimulator, VoDSystemConfig
 from repro.vod.tracker import TrackingServer
 from repro.workload.trace import Trace, generate_trace
 
-__all__ = ["ClosedLoopResult", "ClosedLoopEngine", "run_closed_loop"]
+__all__ = ["ClosedLoopResult", "ClosedLoopEngine"]
 
 
 @dataclass
@@ -88,7 +88,7 @@ class ClosedLoopEngine:
     built on the first :meth:`advance_epoch` (or :meth:`start`), so a
     checkpoint resume can adopt restored state without paying for a
     trace rebuild.  A fully drained engine's :meth:`result` is
-    byte-identical to the historical ``run_closed_loop`` return.
+    byte-identical to the historical monolithic-loop return.
 
     Parameters
     ----------
@@ -103,6 +103,10 @@ class ClosedLoopEngine:
         Capacity floor override; defaults to one streaming rate per
         chunk, which keeps a just-woken channel from starving its first
         viewers.
+    controller:
+        Registered provisioning-policy key
+        (:func:`repro.core.controller.controller_names`); ``None`` means
+        the paper controller.
     """
 
     kind = "closed-loop"
@@ -114,11 +118,13 @@ class ClosedLoopEngine:
         trace: Optional[Trace] = None,
         predictor: Optional[ArrivalRatePredictor] = None,
         min_capacity_per_chunk: Optional[float] = None,
+        controller: Optional[str] = None,
     ) -> None:
         self.scenario = scenario
         self._trace = trace
         self._predictor = predictor
         self._min_capacity_per_chunk = min_capacity_per_chunk
+        self._controller_key = controller or "paper"
         self._built = False
         self._done = False
         self._epoch = 0
@@ -189,7 +195,8 @@ class ClosedLoopEngine:
             if self._min_capacity_per_chunk is not None
             else constants.streaming_rate
         )
-        self.controller = ProvisioningController(
+        controller_cls = controller_class(self._controller_key)
+        self.controller = controller_cls(
             self._estimator,
             self.tracker,
             self.broker,
@@ -412,34 +419,3 @@ class ClosedLoopEngine:
         self.population_series = state["population_series"]
         self.channel_population_series = state["channel_population_series"]
         self.vm_cost_series = state["vm_cost_series"]
-
-
-def run_closed_loop(
-    scenario: ScenarioConfig,
-    *,
-    trace: Optional[Trace] = None,
-    predictor: Optional[ArrivalRatePredictor] = None,
-    min_capacity_per_chunk: Optional[float] = None,
-) -> ClosedLoopResult:
-    """Deprecated shim: run one scenario end to end.
-
-    .. deprecated:: 1.2
-        Use :func:`repro.api.open_run` with an
-        :class:`repro.api.EngineConfig` — the run streams per-epoch
-        reports and can be checkpointed, and ``result()`` returns this
-        same :class:`ClosedLoopResult`.  Code needing a custom trace or
-        predictor *instance* can construct :class:`ClosedLoopEngine`
-        directly.
-    """
-    warnings.warn(
-        "run_closed_loop() is deprecated; use repro.api.open_run("
-        "EngineConfig(spec=scenario)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return ClosedLoopEngine(
-        scenario,
-        trace=trace,
-        predictor=predictor,
-        min_capacity_per_chunk=min_capacity_per_chunk,
-    ).run()

@@ -21,20 +21,32 @@ Each decision yields
 * per-viewer-region capacity-weighted latency utility discounts, which
   the engine folds into the quality metrics
   (:func:`repro.vod.metrics.latency_adjusted_quality`).
+
+The observe/predict/analyze skeleton is
+:class:`repro.core.controller.ProvisioningControllerBase` — shared with
+the single-region controller, so the geo loop is a strategy over the
+same skeleton, not a fork — and the policy mixins compose with this
+class the same way (``repro.core.controller`` documents the policies).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.cloud.broker import Broker, NegotiationError, ResourceRequest, \
     SLAAgreement
+from repro.core.controller import (
+    AdaptPolicy,
+    MPCPolicy,
+    PIDPolicy,
+    ProvisioningControllerBase,
+    ReactivePolicy,
+)
 from repro.core.demand import ChannelDemand, DemandEstimator
-from repro.core.predictor import ArrivalRatePredictor, LastIntervalPredictor
-from repro.core.provisioner import storage_demand_shifted
+from repro.core.predictor import ArrivalRatePredictor
 from repro.core.sla import SLATerms
 from repro.core.storage_rental import StoragePlan, StorageProblem, \
     greedy_storage_rental
@@ -45,9 +57,16 @@ from repro.geo.allocation import (
     lp_geo_allocation,
 )
 from repro.geo.region import GeoTopology
-from repro.vod.tracker import IntervalStats, TrackingServer
+from repro.vod.tracker import TrackingServer
 
-__all__ = ["GeoProvisioningDecision", "GeoProvisioningController"]
+__all__ = [
+    "GeoProvisioningDecision",
+    "GeoProvisioningController",
+    "ReactiveGeoProvisioningController",
+    "AdaptGeoProvisioningController",
+    "PIDGeoProvisioningController",
+    "MPCGeoProvisioningController",
+]
 
 
 @dataclass
@@ -103,7 +122,7 @@ class GeoProvisioningDecision:
         }
 
 
-class GeoProvisioningController:
+class GeoProvisioningController(ProvisioningControllerBase):
     """Closes the provisioning loop across regions.
 
     Parameters
@@ -130,6 +149,8 @@ class GeoProvisioningController:
         controller).
     """
 
+    decisions: List[GeoProvisioningDecision]
+
     def __init__(
         self,
         estimator: DemandEstimator,
@@ -144,31 +165,22 @@ class GeoProvisioningController:
         exact: bool = False,
         min_capacity_per_chunk: float = 0.0,
         storage_replan_threshold: float = 0.25,
+        **kwargs,
     ) -> None:
-        if storage_replan_threshold < 0:
-            raise ValueError("threshold must be >= 0")
-        self.estimator = estimator
-        self.tracker = tracker
-        self.broker = broker
+        super().__init__(
+            estimator,
+            tracker,
+            broker,
+            terms,
+            predictor=predictor,
+            storage_replan_threshold=storage_replan_threshold,
+            min_capacity_per_chunk=min_capacity_per_chunk,
+            **kwargs,
+        )
         self.topology = topology
-        self.terms = terms
         self.slot_region = slot_region
         self.slot_channel = slot_channel
-        self.predictor = predictor or LastIntervalPredictor()
         self.exact = bool(exact)
-        self.min_capacity_per_chunk = min_capacity_per_chunk
-        self.storage_replan_threshold = storage_replan_threshold
-        self.decisions: List[GeoProvisioningDecision] = []
-        self._last_chunk_demand: Optional[Dict[object, float]] = None
-        self._storage_planned = False
-
-    @property
-    def vm_bandwidth(self) -> float:
-        return self.estimator.model.vm_bandwidth
-
-    @property
-    def chunk_size_bytes(self) -> float:
-        return self.estimator.model.chunk_size_bytes
 
     # ------------------------------------------------------------------
     def _regional_demands(
@@ -233,17 +245,6 @@ class GeoProvisioningController:
                 key = (channel, i)
                 pooled[key] = pooled.get(key, 0.0) + float(delta)
         return pooled
-
-    def _should_replan_storage(
-        self, chunk_demand: Dict[object, float]
-    ) -> bool:
-        if not self._storage_planned:
-            return True
-        return storage_demand_shifted(
-            self._last_chunk_demand or {},
-            chunk_demand,
-            self.storage_replan_threshold,
-        )
 
     def _egress_rate(self, plan: GeoAllocationPlan) -> float:
         """$/hour of cross-region transfer the plan implies."""
@@ -352,40 +353,31 @@ class GeoProvisioningController:
         self._last_chunk_demand = dict(chunk_demand)
         return decision
 
-    # ------------------------------------------------------------------
-    def bootstrap(
-        self,
-        now: float,
-        expected_rates: Mapping[int, float],
-        *,
-        peer_upload: Optional[float] = None,
-    ) -> GeoProvisioningDecision:
-        """Initial deployment from expected per-slot arrival rates."""
-        synthetic: List[IntervalStats] = [
-            self.tracker.empty_stats(slot) for slot in sorted(expected_rates)
-        ]
-        demands = self.estimator.estimate_all(
-            synthetic,
-            arrival_rates=dict(expected_rates),
-            peer_upload=peer_upload,
-        )
-        return self.provision(now, demands)
 
-    def run_interval(
-        self,
-        now: float,
-        *,
-        peer_upload: Optional[float] = None,
-    ) -> GeoProvisioningDecision:
-        """Execute one periodic provisioning round at time ``now``."""
-        interval_stats: List[IntervalStats] = self.tracker.close_interval()
-        predicted: Dict[int, float] = {}
-        for stats in interval_stats:
-            self.predictor.observe(stats.channel_id, stats.arrival_rate)
-            predicted[stats.channel_id] = self.predictor.predict(
-                stats.channel_id
-            )
-        demands = self.estimator.estimate_all(
-            interval_stats, arrival_rates=predicted, peer_upload=peer_upload
-        )
-        return self.provision(now, demands)
+class ReactiveGeoProvisioningController(
+    ReactivePolicy, GeoProvisioningController
+):
+    """Multi-region reactive threshold scaling (``controller="reactive"``)."""
+
+
+class AdaptGeoProvisioningController(AdaptPolicy, GeoProvisioningController):
+    """Multi-region Adapt-style proactive estimator (``controller="adapt"``)."""
+
+
+class PIDGeoProvisioningController(PIDPolicy, GeoProvisioningController):
+    """Multi-region PID demand shaping (``controller="pid"``)."""
+
+
+class MPCGeoProvisioningController(MPCPolicy, GeoProvisioningController):
+    """Multi-region receding-horizon MPC (``controller="mpc"``).
+
+    The inner solve is the real topology's exact LP — the same
+    :class:`~repro.geo.allocation.GeoVMProblem` the ``exact`` paper
+    controller would solve, but over the horizon-grown demand.
+    """
+
+    def _mpc_topology(self):
+        return self.topology
+
+    def _mpc_regional_demands(self, demands):
+        return self._regional_demands(demands)

@@ -32,7 +32,6 @@ _SHARD_EXPORTS = (
     "ShardEngineError",
     "make_engine",
     "merge_epoch_reports",
-    "run_catalog",
     "summarize_catalog",
 )
 
@@ -62,6 +61,5 @@ __all__ = [
     "ShardEngineError",
     "make_engine",
     "merge_epoch_reports",
-    "run_catalog",
     "summarize_catalog",
 ]

@@ -46,7 +46,6 @@ import math
 import multiprocessing as mp
 import time
 import traceback
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -56,6 +55,7 @@ from repro.cloud.billing import CostReport
 from repro.cloud.broker import Broker
 from repro.cloud.scheduler import CloudFacility
 from repro.core.demand import DemandEstimator
+from repro.core.controller import controller_class
 from repro.core.predictor import ArrivalRatePredictor
 from repro.core.provisioner import ProvisioningController, ProvisioningDecision
 from repro.geo.controller import GeoProvisioningController
@@ -87,7 +87,6 @@ __all__ = [
     "report_to_views",
     "report_from_views",
     "make_engine",
-    "run_catalog",
     "summarize_catalog",
 ]
 
@@ -789,6 +788,10 @@ class ShardedSimulator:
         byte-identical for any value.
     predictor:
         Optional arrival-rate predictor override for the controller.
+    controller:
+        Registered provisioning-policy key
+        (:func:`repro.core.controller.controller_names`); ``None`` means
+        the paper controller.
     """
 
     kind = "catalog"
@@ -799,9 +802,11 @@ class ShardedSimulator:
         *,
         jobs: int = 1,
         predictor: Optional[ArrivalRatePredictor] = None,
+        controller: Optional[str] = None,
     ) -> None:
         self.config = config
         self.jobs = max(1, min(int(jobs), config.effective_shards))
+        self._controller_key = controller or "paper"
         self._clock = EpochClock(0.0)
         self._peer_upload: Optional[float] = None
         self.vm_cost_series: List[float] = []
@@ -847,8 +852,10 @@ class ShardedSimulator:
     def _build_controller(
         self, predictor: Optional[ArrivalRatePredictor]
     ) -> ProvisioningController:
-        """The control plane: single-region Eqn (6)/(7) provisioning."""
-        return ProvisioningController(
+        """The control plane: single-region Eqn (6)/(7) provisioning,
+        under the selected policy (the paper's by default)."""
+        cls = controller_class(self._controller_key)
+        return cls(
             self._estimator,
             self.tracker,
             self.broker,
@@ -1302,19 +1309,23 @@ class GeoShardedSimulator(ShardedSimulator):
         *,
         jobs: int = 1,
         predictor: Optional[ArrivalRatePredictor] = None,
+        controller: Optional[str] = None,
     ) -> None:
         if not isinstance(config, GeoCatalogConfig):
             raise TypeError(
                 "GeoShardedSimulator needs a GeoCatalogConfig "
                 "(use geo_catalog_config(...))"
             )
-        super().__init__(config, jobs=jobs, predictor=predictor)
+        super().__init__(
+            config, jobs=jobs, predictor=predictor, controller=controller
+        )
 
     def _build_controller(
         self, predictor: Optional[ArrivalRatePredictor]
     ) -> GeoProvisioningController:
         config = self.config
-        return GeoProvisioningController(
+        cls = controller_class(self._controller_key, geo=True)
+        return cls(
             self._estimator,
             self.tracker,
             self.broker,
@@ -1350,6 +1361,7 @@ def make_engine(
     *,
     jobs: int = 1,
     predictor: Optional[ArrivalRatePredictor] = None,
+    controller: Optional[str] = None,
 ) -> ShardedSimulator:
     """The right engine for the config: geo configs get the multi-region
     control plane, plain catalogs the single-region one."""
@@ -1357,34 +1369,4 @@ def make_engine(
         GeoShardedSimulator if isinstance(config, GeoCatalogConfig)
         else ShardedSimulator
     )
-    return cls(config, jobs=jobs, predictor=predictor)
-
-
-def run_catalog(
-    config: CatalogConfig,
-    *,
-    jobs: Optional[int] = None,
-    predictor: Optional[ArrivalRatePredictor] = None,
-) -> CatalogResult:
-    """Deprecated shim: run one catalog end to end.
-
-    .. deprecated:: 1.2
-        Use :func:`repro.api.open_run` with an
-        :class:`repro.api.EngineConfig` — ``workers`` is a first-class
-        config field there, the run streams per-epoch reports and can be
-        checkpointed.  This shim resolves the worker count through the
-        same shared path (``jobs`` argument, else the warned
-        ``REPRO_CATALOG_JOBS`` fallback) and returns the identical
-        monolithic result.
-    """
-    warnings.warn(
-        "run_catalog() is deprecated; use repro.api.open_run("
-        "EngineConfig(spec=config, workers=...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.api import resolve_workers  # runtime import: api sits above
-
-    workers = resolve_workers(jobs)
-    with make_engine(config, jobs=workers, predictor=predictor) as engine:
-        return engine.run()
+    return cls(config, jobs=jobs, predictor=predictor, controller=controller)

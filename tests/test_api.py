@@ -9,7 +9,8 @@ The redesign's contract, pinned down here:
   run, including across different worker counts on either side;
 * ``EngineConfig.workers`` is authoritative; ``REPRO_CATALOG_JOBS`` is
   a warned, validated fallback (the one shared path);
-* the historical entry points remain as shims that warn.
+* the historical ``run_closed_loop``/``run_catalog`` shims are gone —
+  ``open_run`` is the only entry point.
 """
 
 import os
@@ -29,8 +30,8 @@ from repro.api import (
     resume,
 )
 from repro.experiments.config import small_scenario
-from repro.experiments.runner import ClosedLoopEngine, run_closed_loop
-from repro.sim.shard import run_catalog, summarize_catalog
+from repro.experiments.runner import ClosedLoopEngine
+from repro.sim.shard import summarize_catalog
 from repro.workload.catalog import catalog_config, geo_catalog_config
 
 RESULT_ARRAYS = (
@@ -171,17 +172,14 @@ class TestResolveWorkers:
 # ----------------------------------------------------------------------
 
 class TestStreamingParity:
-    def test_catalog_stream_matches_monolithic_and_legacy(self):
+    def test_catalog_stream_matches_monolithic(self):
         config = small_catalog()
         with open_run(EngineConfig(spec=config, workers=1)) as run:
             mono = run.result()
         with open_run(EngineConfig(spec=config, workers=1)) as run:
             snaps = list(run.epochs())
             streamed = run.result()
-        with pytest.warns(DeprecationWarning, match="run_catalog"):
-            legacy = run_catalog(config, jobs=1)
         assert_catalog_identical(mono, streamed)
-        assert_catalog_identical(mono, legacy)
         assert [s.index for s in snaps] == list(range(1, len(snaps) + 1))
         assert snaps[-1].is_final
         assert sum(s.arrivals for s in snaps) == mono.arrivals
@@ -193,17 +191,14 @@ class TestStreamingParity:
         assert snaps[-1].decision is None
         assert [s.vm_cost_per_hour for s in snaps[:-1]] == mono.vm_cost_series
 
-    def test_closed_loop_stream_matches_monolithic_and_legacy(self):
+    def test_closed_loop_stream_matches_monolithic(self):
         scenario = small_scenario("p2p", horizon_hours=3.0)
         with open_run(scenario) as run:
             mono = run.result()
         with open_run(scenario) as run:
             snaps = list(run.epochs())
             streamed = run.result()
-        with pytest.warns(DeprecationWarning, match="run_closed_loop"):
-            legacy = run_closed_loop(scenario)
         assert_closed_loop_identical(mono, streamed)
-        assert_closed_loop_identical(mono, legacy)
         assert len(snaps) == run.epochs_total
         assert sum(s.arrivals for s in snaps) == mono.simulation.arrivals
         assert [s.vm_cost_per_hour for s in snaps[:-1]] == mono.vm_cost_series
@@ -247,10 +242,14 @@ class TestStreamingParity:
         assert_closed_loop_identical(via_key, direct)
 
     def test_unknown_predictor_fails_fast(self):
-        with pytest.raises(KeyError, match="unknown predictor"):
-            open_run(
-                EngineConfig(spec=small_scenario("p2p"), predictor="oracle")
-            )
+        # Validation moved up into EngineConfig itself: the bad key is
+        # rejected at construction, before any engine work.
+        with pytest.raises(ValueError, match="unknown predictor"):
+            EngineConfig(spec=small_scenario("p2p"), predictor="oracle")
+
+    def test_unknown_controller_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown controller"):
+            EngineConfig(spec=small_scenario("p2p"), controller="oracle")
 
     def test_open_run_rejects_conflicting_kwargs(self):
         with pytest.raises(TypeError, match="inside the EngineConfig"):
@@ -372,23 +371,31 @@ class TestCheckpointResume:
 
 
 # ----------------------------------------------------------------------
-# Deprecated shims
+# Removed shims
 # ----------------------------------------------------------------------
 
-class TestDeprecatedShims:
-    def test_run_closed_loop_warns_and_matches(self):
-        scenario = small_scenario("client-server", horizon_hours=2.0)
-        with pytest.warns(DeprecationWarning, match="open_run"):
-            legacy = run_closed_loop(scenario)
-        with open_run(scenario) as run:
-            assert_closed_loop_identical(legacy, run.result())
+class TestRemovedShims:
+    def test_shims_are_gone(self):
+        with pytest.raises(ImportError):
+            from repro.experiments.runner import run_closed_loop  # noqa: F401
+        with pytest.raises(ImportError):
+            from repro.sim.shard import run_catalog  # noqa: F401
+        import repro.experiments
+        import repro.sim
+        assert "run_closed_loop" not in repro.experiments.__all__
+        assert "run_catalog" not in repro.sim.__all__
+        with pytest.raises(AttributeError):
+            repro.sim.run_catalog
 
-    def test_run_catalog_warns_and_honors_env(self, monkeypatch):
+    def test_env_fallback_still_flows_through_open_run(self, monkeypatch):
+        """With the shims gone, the warned REPRO_CATALOG_JOBS fallback
+        still applies when EngineConfig.workers is None."""
         config = small_catalog(horizon_hours=0.25)
         monkeypatch.setenv("REPRO_CATALOG_JOBS", "2")
-        with pytest.warns(DeprecationWarning):
-            from_env = summarize_catalog(run_catalog(config))
+        with pytest.warns(DeprecationWarning, match="REPRO_CATALOG_JOBS"):
+            with open_run(EngineConfig(spec=config)) as run:
+                from_env = summarize_catalog(run.result())
         monkeypatch.delenv("REPRO_CATALOG_JOBS")
-        with pytest.warns(DeprecationWarning, match="run_catalog"):
-            serial = summarize_catalog(run_catalog(config, jobs=1))
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            serial = summarize_catalog(run.result())
         assert from_env == serial

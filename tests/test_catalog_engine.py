@@ -15,12 +15,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import EngineConfig, open_run
 from repro.sim.shard import (
     ChannelShard,
     EpochReport,
     ShardedSimulator,
     merge_epoch_reports,
-    run_catalog,
     summarize_catalog,
 )
 from repro.workload.catalog import (
@@ -56,6 +56,17 @@ def small_config(**overrides):
     )
     params.update(overrides)
     return catalog_config(**params)
+
+
+def run_via_api(config, workers=None):
+    """Run a catalog config through the public api surface.
+
+    ``workers=None`` exercises the deprecated ``REPRO_CATALOG_JOBS``
+    environment fallback (the only remaining spelling of "let the env
+    decide" now that the ``run_catalog`` shim is gone).
+    """
+    with open_run(EngineConfig(spec=config, workers=workers)) as run:
+        return run.result()
 
 
 # ----------------------------------------------------------------------
@@ -146,37 +157,40 @@ class TestShardedDeterminism:
         assert serial.channel_populations == parallel.channel_populations
         assert serial.vm_cost_series == parallel.vm_cost_series
 
-    def test_run_catalog_env_jobs(self, monkeypatch):
+    def test_env_jobs_fallback(self, monkeypatch):
         config = small_config(horizon_hours=0.25)
         monkeypatch.setenv("REPRO_CATALOG_JOBS", "2")
-        from_env = summarize_catalog(run_catalog(config))
-        explicit = summarize_catalog(run_catalog(config, jobs=1))
+        with pytest.warns(DeprecationWarning, match="REPRO_CATALOG_JOBS"):
+            from_env = summarize_catalog(run_via_api(config))
+        explicit = summarize_catalog(run_via_api(config, workers=1))
         assert from_env == explicit
 
-    def test_run_catalog_env_garbage_named_in_error(self, monkeypatch):
+    def test_env_garbage_named_in_error(self, monkeypatch):
         """Garbage REPRO_CATALOG_JOBS must fail with a message naming
         the variable, not a bare int() traceback."""
         config = small_config(horizon_hours=0.25)
         monkeypatch.setenv("REPRO_CATALOG_JOBS", "auto")
         with pytest.raises(ValueError, match="REPRO_CATALOG_JOBS"):
-            run_catalog(config)
+            run_via_api(config)
 
     @pytest.mark.parametrize("raw", ["0", "-3"])
-    def test_run_catalog_env_clamped_to_serial(self, raw, monkeypatch):
+    def test_env_clamped_to_serial(self, raw, monkeypatch):
         """0/negative worker counts clamp to 1 instead of being passed
         through (results are jobs-invariant, so serial == correct)."""
         config = small_config(horizon_hours=0.25)
         monkeypatch.setenv("REPRO_CATALOG_JOBS", raw)
-        clamped = summarize_catalog(run_catalog(config))
+        with pytest.warns(DeprecationWarning, match="REPRO_CATALOG_JOBS"):
+            clamped = summarize_catalog(run_via_api(config))
         monkeypatch.setenv("REPRO_CATALOG_JOBS", "1")
-        serial = summarize_catalog(run_catalog(config))
+        with pytest.warns(DeprecationWarning, match="REPRO_CATALOG_JOBS"):
+            serial = summarize_catalog(run_via_api(config))
         assert clamped == serial
 
-    def test_run_catalog_env_blank_is_serial(self, monkeypatch):
+    def test_env_blank_is_serial(self, monkeypatch):
         monkeypatch.setenv("REPRO_CATALOG_JOBS", "  ")
         config = small_config(horizon_hours=0.25)
-        assert summarize_catalog(run_catalog(config)) == \
-            summarize_catalog(run_catalog(config, jobs=1))
+        assert summarize_catalog(run_via_api(config)) == \
+            summarize_catalog(run_via_api(config, workers=1))
 
     def test_reports_carry_only_owned_channels(self):
         config = small_config()
@@ -287,7 +301,7 @@ class TestCatalogRegistry:
         assert metrics["arrivals"] > 0
 
     def test_summary_quality_within_bounds(self):
-        result = run_catalog(small_config(horizon_hours=0.25), jobs=1)
+        result = run_via_api(small_config(horizon_hours=0.25), workers=1)
         metrics = summarize_catalog(result)
         assert 0.0 <= metrics["average_quality"] <= 1.0
         assert 0.0 <= metrics["smooth_retrieval_fraction"] <= 1.0

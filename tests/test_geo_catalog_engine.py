@@ -23,12 +23,12 @@ from repro.geo.allocation import (
     greedy_geo_allocation,
     lp_geo_allocation,
 )
+from repro.api import EngineConfig, open_run
 from repro.sim.shard import (
     GeoCatalogResult,
     GeoShardedSimulator,
     ShardedSimulator,
     make_engine,
-    run_catalog,
     summarize_catalog,
 )
 from repro.vod.metrics import latency_adjusted_quality
@@ -228,7 +228,8 @@ class TestGeoControlPlane:
             num_channels=4, chunks_per_channel=3, horizon_hours=0.5,
             exact=True,
         )
-        result = run_catalog(config, jobs=1)
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            result = run.result()
         metrics = summarize_catalog(result)
         assert metrics["num_regions"] == 3
         assert 0.0 <= metrics["latency_adjusted_quality"] <= 1.0
@@ -244,7 +245,8 @@ class TestGeoControlPlane:
             flash_fraction=1.0, flash_amplitude=6.0, cluster_scale=2.0,
             num_shards=4, phase_jitter_hours=0.0,
         )
-        result = run_catalog(config, jobs=1)
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            result = run.result()
         assert max(result.epoch_remote_fractions) > 0.0
         assert max(result.epoch_egress_rates) > 0.0
         assert result.cost_report.egress_cost > 0.0
@@ -257,7 +259,8 @@ class TestGeoControlPlane:
         """A run with no remote serving still reports the intra-region
         discount 0.5 ** (local latency / half-life), never exactly 1."""
         config = small_geo_config(flash_fraction=0.0, arrival_rate=0.3)
-        result = run_catalog(config, jobs=1)
+        with open_run(EngineConfig(spec=config, workers=1)) as run:
+            result = run.result()
         preset = GEO_TOPOLOGIES[config.topology]
         local = 0.5 ** (5.0 / preset["latency_halflife_ms"])
         if max(result.epoch_remote_fractions) == 0.0:
@@ -292,7 +295,8 @@ class TestGeoControlPlane:
             mode="p2p", num_channels=4, chunks_per_channel=3,
             horizon_hours=0.5,
         )
-        metrics = summarize_catalog(run_catalog(config, jobs=2))
+        with open_run(EngineConfig(spec=config, workers=2)) as run:
+            metrics = summarize_catalog(run.result())
         assert metrics["arrivals"] > 0
         assert metrics["num_regions"] == 3
 

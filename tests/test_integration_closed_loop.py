@@ -19,7 +19,16 @@ from repro.experiments.figures import (
     fig9_vm_utility,
     fig10_vm_cost,
 )
-from repro.experiments.runner import run_closed_loop
+from repro.experiments.runner import ClosedLoopEngine
+
+
+def run_closed_loop(scenario, **engine_kwargs):
+    """Run a scenario's whole horizon through the epoch engine."""
+    engine = ClosedLoopEngine(scenario, **engine_kwargs)
+    try:
+        return engine.run()
+    finally:
+        engine.close()
 
 
 @pytest.fixture(scope="module")
