@@ -25,8 +25,7 @@ Timed kernel: the capacity analysis at the paper's T0.
 from repro.core.packing import pack_allocations
 from repro.core.vm_allocation import VMProblem, greedy_vm_allocation
 from repro.experiments.config import PAPER, paper_vm_clusters
-from repro.experiments.registry import chunk_count_for, \
-    chunk_size_behaviour, get
+from repro.experiments.registry import chunk_count_for, chunk_size_behaviour, get
 from repro.experiments.reporting import format_table, mbps
 from repro.queueing.capacity import CapacityModel, solve_channel_capacity
 

@@ -20,12 +20,14 @@ cluster with the best u/p while the objective only rewards u, leaving
 import numpy as np
 import pytest
 
-from repro.core.storage_rental import StorageProblem, \
-    exhaustive_storage_rental, greedy_storage_rental
+from repro.core.storage_rental import (
+    StorageProblem,
+    exhaustive_storage_rental,
+    greedy_storage_rental,
+)
 from repro.core.vm_allocation import VMProblem, greedy_vm_allocation
 from repro.experiments.config import paper_nfs_clusters, paper_vm_clusters
-from repro.experiments.registry import get as registry_scenario, \
-    heuristic_demands
+from repro.experiments.registry import get as registry_scenario, heuristic_demands
 from repro.experiments.reporting import format_table
 
 R = 10e6 / 8.0

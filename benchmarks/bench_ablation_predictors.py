@@ -15,9 +15,9 @@ import numpy as np
 import pytest
 
 from conftest import registry_scenario
+from repro.api import EngineConfig, open_run
 from repro.experiments.registry import get, make_predictor
 from repro.experiments.reporting import format_table
-from repro.api import EngineConfig, open_run
 
 # The ``ablation-predictors`` registry entry's grid (one cell per
 # predictor; ``repro sweep ablation-predictors`` runs the same matrix).

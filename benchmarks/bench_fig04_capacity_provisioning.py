@@ -14,9 +14,8 @@ closed-loop fixtures in conftest.py are its two grid cells.
 
 import numpy as np
 
-from repro.experiments.config import scenario_from_env
 from repro.experiments.figures import fig4_capacity_provisioning
-from repro.experiments.reporting import downsample, format_table
+from repro.experiments.reporting import format_table
 from repro.queueing.capacity import solve_channel_capacity
 
 

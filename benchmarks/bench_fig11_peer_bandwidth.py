@@ -12,15 +12,13 @@ per-interval cost of the sufficiency machinery.
 
 import os
 
-import numpy as np
 import pytest
 
 from conftest import registry_scenario
+from repro.api import open_run
 from repro.experiments.figures import fig11_quality_by_peer_bandwidth
 from repro.experiments.registry import get
 from repro.experiments.reporting import format_table
-from repro.api import open_run
-
 from repro.p2p.contribution import solve_p2p_channel_capacity
 
 RATIOS = tuple(get("fig11").grid["upload_ratio"])

@@ -13,11 +13,9 @@ region alone) versus pooling.
 import numpy as np
 
 from repro.experiments.config import PAPER, paper_capacity_model
-from repro.experiments.registry import GEO_REGION_OFFSETS, geo_demand_at, \
-    geo_topology
+from repro.experiments.registry import GEO_REGION_OFFSETS, geo_demand_at, geo_topology
 from repro.experiments.reporting import format_table
-from repro.geo.allocation import GeoVMProblem, greedy_geo_allocation, \
-    lp_geo_allocation
+from repro.geo.allocation import GeoVMProblem, greedy_geo_allocation, lp_geo_allocation
 from repro.geo.region import GeoTopology
 from repro.vod.channel import default_behaviour_matrix
 

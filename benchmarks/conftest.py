@@ -20,8 +20,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.registry import get
 from repro.api import open_run
+from repro.experiments.registry import get
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

@@ -23,8 +23,7 @@ import numpy as np
 from repro.cloud.cluster import VirtualClusterSpec
 from repro.experiments.config import PAPER, paper_capacity_model
 from repro.experiments.reporting import format_table
-from repro.geo.allocation import GeoVMProblem, greedy_geo_allocation, \
-    lp_geo_allocation
+from repro.geo.allocation import GeoVMProblem, greedy_geo_allocation, lp_geo_allocation
 from repro.geo.region import GeoTopology, RegionSpec
 from repro.queueing.capacity import solve_channel_capacity
 from repro.vod.channel import default_behaviour_matrix

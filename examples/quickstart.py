@@ -15,14 +15,12 @@ channel with the paper's physical constants:
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro.experiments.config import paper_capacity_model
 from repro.experiments.reporting import format_table, mbps
 from repro.p2p.contribution import solve_p2p_channel_capacity
 from repro.queueing.capacity import solve_channel_capacity
-from repro.queueing.transitions import mixture_matrix, sequential_matrix, \
-    uniform_jump_matrix
+from repro.queueing.transitions import mixture_matrix, sequential_matrix, uniform_jump_matrix
 
 
 def main() -> None:

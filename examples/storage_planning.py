@@ -13,7 +13,6 @@ against the LP bounds:
 Run:  python examples/storage_planning.py
 """
 
-import numpy as np
 
 from repro.core.packing import pack_allocations
 from repro.core.storage_rental import (
@@ -21,9 +20,7 @@ from repro.core.storage_rental import (
     greedy_storage_rental,
     lp_storage_bound,
 )
-from repro.core.vm_allocation import VMProblem, greedy_vm_allocation, \
-    lp_vm_allocation
-from repro.p2p.contribution import solve_p2p_channel_capacity
+from repro.core.vm_allocation import VMProblem, greedy_vm_allocation, lp_vm_allocation
 from repro.experiments.config import (
     PAPER,
     paper_capacity_model,
@@ -31,6 +28,7 @@ from repro.experiments.config import (
     paper_vm_clusters,
 )
 from repro.experiments.reporting import format_table, mbps
+from repro.p2p.contribution import solve_p2p_channel_capacity
 from repro.queueing.capacity import solve_channel_capacity
 from repro.vod.channel import default_behaviour_matrix
 from repro.workload.zipf import assign_channel_rates

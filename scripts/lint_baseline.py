@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Refresh (or inspect) the committed determinism-lint baseline.
+
+This is the sanctioned path for changing ``lint_baseline.json`` —
+exactly like ``scripts/record_golden.py`` for the golden fixtures
+(docs/ci.md).  The gating CI job never writes the baseline; a human
+runs::
+
+    python scripts/lint_baseline.py --update
+
+after deciding a finding is acceptable debt (new entry) or after fixing
+one (the entry burns down and ``repro lint --check`` fails until this
+refresh removes it).  ``--show`` prints the current entries with their
+remaining counts without touching the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import Baseline, run_lint, update_baseline  # noqa: E402
+from repro.analysis.baseline import BASELINE_NAME  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="re-record the baseline from current findings")
+    parser.add_argument("--show", action="store_true",
+                        help="print the committed entries and their status")
+    parser.add_argument("--baseline", default=REPO_ROOT / BASELINE_NAME,
+                        type=Path, help="baseline file location")
+    args = parser.parse_args(argv)
+    if not (args.update or args.show):
+        parser.error("pick --update or --show")
+
+    if args.show:
+        baseline = (
+            Baseline.load(args.baseline)
+            if args.baseline.exists()
+            else Baseline()
+        )
+        result = run_lint(baseline=baseline)
+        spent = {f.fingerprint for f in result.baselined}
+        if not baseline.entries:
+            print("baseline is empty (the linter is clean)")
+        for key in sorted(baseline.entries):
+            state = "live" if key in spent else "STALE (fixed - run --update)"
+            print(f"  [{state}] {key} (x{baseline.entries[key]})")
+        if result.new:
+            print(f"{len(result.new)} NEW finding(s) not in the baseline:")
+            for finding in result.new:
+                print(f"  {finding.location()}: {finding.rule} "
+                      f"{finding.message}")
+        return 0
+
+    refreshed, result = update_baseline(baseline_path=args.baseline)
+    print(f"recorded {sum(refreshed.entries.values())} finding(s) across "
+          f"{len(refreshed.entries)} fingerprint(s) to {args.baseline}")
+    for key in sorted(refreshed.entries):
+        print(f"  {key} (x{refreshed.entries[key]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,9 @@ import time
 
 import numpy as np
 
+from repro.api import open_run
 from repro.experiments.config import paper_scenario
 from repro.experiments.figures import fig7_bandwidth_vs_channel_size
-from repro.api import open_run
 
 
 def main() -> None:

@@ -33,8 +33,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.experiments.config import small_scenario
 from repro.api import open_run
+from repro.experiments.config import small_scenario
 from repro.vod.simulator import VoDSimulator, VoDSystemConfig
 from repro.workload.trace import generate_trace
 

@@ -1,0 +1,117 @@
+"""The committed finding baseline: gating from day one, debt burns down.
+
+The baseline is a JSON map of finding fingerprints (line-number
+independent; see :class:`~repro.analysis.model.Finding.fingerprint`) to
+occurrence counts.  The engine classifies every finding against it:
+
+* **new** — not in the baseline (or beyond its count): fails the lint;
+* **baselined** — covered by an entry: reported, does not fail;
+* **stale** — baseline entries the scan no longer produces: the debt
+  was paid, so ``repro lint --check`` (the CI mode) fails until
+  ``scripts/lint_baseline.py --update`` prunes them — entries only
+  ever burn down, they are never silently kept.
+
+The file lives at the repository root (``lint_baseline.json``) and is
+discovered by walking up from the scan target, so ``repro lint`` works
+from any checkout directory without flags.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.model import Finding, fingerprint_counts
+
+__all__ = ["Baseline", "find_baseline", "BASELINE_NAME", "BASELINE_SCHEMA"]
+
+BASELINE_NAME = "lint_baseline.json"
+BASELINE_SCHEMA = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint → count, with apply/save/load round-tripping."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+    path: Optional[Path] = None
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        path = Path(path)
+        payload = json.loads(path.read_text())
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != BASELINE_SCHEMA
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            raise ValueError(
+                f"{path} is not a schema-{BASELINE_SCHEMA} lint baseline"
+            )
+        entries = {
+            str(key): int(value)
+            for key, value in payload["entries"].items()
+        }
+        return cls(entries=entries, path=path)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], path=None
+    ) -> "Baseline":
+        return cls(
+            entries=fingerprint_counts(findings),
+            path=Path(path) if path is not None else None,
+        )
+
+    def save(self, path=None) -> Path:
+        path = Path(path) if path is not None else self.path
+        if path is None:
+            raise ValueError("no baseline path to save to")
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "comment": (
+                "Known repro-lint findings, burning down. Entries are "
+                "line-number-independent fingerprints; refresh only via "
+                "scripts/lint_baseline.py --update (docs/static-analysis.md)."
+            ),
+            "entries": {
+                key: self.entries[key] for key in sorted(self.entries)
+            },
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        return path
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], Dict[str, int]]:
+        """Split findings into (new, baselined) and report stale debt.
+
+        Within one fingerprint, the first ``count`` occurrences are
+        baselined and the rest are new — a second copy of a baselined
+        bug is still a regression.
+        """
+        remaining = dict(self.entries)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            if remaining.get(finding.fingerprint, 0) > 0:
+                remaining[finding.fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = {key: count for key, count in remaining.items() if count > 0}
+        return new, baselined, stale
+
+
+def find_baseline(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` looking for the committed baseline file."""
+    node = Path(start).resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in [node, *node.parents]:
+        path = candidate / BASELINE_NAME
+        if path.is_file():
+            return path
+    return None

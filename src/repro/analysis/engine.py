@@ -1,0 +1,152 @@
+"""The lint engine: parse → rules → pragmas → baseline → result.
+
+:func:`run_lint` is the one entry point behind ``repro lint``, the
+fixture tests and ``scripts/lint_baseline.py``:
+
+1. parse every ``*.py`` under the target paths into a
+   :class:`~repro.analysis.visitor.Project` (one AST pass per file);
+2. run the full rule pack (local rules + the call-graph taint rules);
+3. drop findings whose source line carries an inline
+   ``# lint: allow[RULE]`` pragma (sanctioned sites);
+4. classify the rest against the committed baseline (new / baselined /
+   stale) — new findings are what gates CI.
+
+The engine is pure analysis: no imports of the scanned code, no
+execution, so a fixture file full of planted bugs is safe to scan and
+the whole ``src/`` pass stays well under the 10 s budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline, find_baseline
+from repro.analysis.model import Finding, pragma_allows
+from repro.analysis.rules import DEFAULT_CONFIG, LintConfig, local_rules
+from repro.analysis.taint import taint_rules
+from repro.analysis.visitor import Project
+
+__all__ = [
+    "LintResult",
+    "all_rules",
+    "default_target",
+    "run_lint",
+    "update_baseline",
+]
+
+
+def all_rules():
+    """The full pack, in rule-ID order (DET001..., then RES/CKP)."""
+    pack = list(local_rules()) + list(taint_rules())
+    return tuple(sorted(pack, key=lambda rule: rule.rule_id))
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package directory (what CI lints)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+@dataclass
+class LintResult:
+    """Everything one lint pass learned."""
+
+    findings: List[Finding]  # post-pragma, pre-baseline
+    new: List[Finding]
+    baselined: List[Finding]
+    stale: Dict[str, int]  # fingerprint -> unspent count
+    suppressed: int  # pragma-suppressed finding count
+    files: int
+    duration_seconds: float
+    baseline_path: Optional[Path] = None
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def rule_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def gate_failures(self, strict: bool = False) -> int:
+        """What fails the build: new findings (+ stale debt when strict)."""
+        return len(self.new) + (len(self.stale) if strict else 0)
+
+
+def _suppressed(project: Project, finding: Finding) -> bool:
+    """Inline pragma on the finding's line, or a standalone pragma
+    comment on the line directly above (for lines with no room)."""
+    for module in project.modules:
+        if module.relpath != finding.path:
+            continue
+        allowed = pragma_allows(module.line(finding.line))
+        above = module.line(finding.line - 1).strip()
+        if above.startswith("#"):
+            allowed = allowed | pragma_allows(above)
+        return finding.rule in allowed or "*" in allowed
+    return False
+
+
+def run_lint(
+    paths: Optional[Sequence] = None,
+    *,
+    baseline: Optional[object] = None,
+    config: LintConfig = DEFAULT_CONFIG,
+    rules=None,
+) -> LintResult:
+    """Run the rule pack over ``paths`` (default: the repro package).
+
+    ``baseline`` may be a :class:`Baseline`, a path, ``None`` (auto-
+    discover ``lint_baseline.json`` above the first target) or
+    ``False`` (explicitly no baseline).
+    """
+    started = time.perf_counter()
+    targets = [Path(p) for p in (paths or [default_target()])]
+    project = Project(targets)
+    if baseline is None:
+        found = find_baseline(targets[0])
+        baseline = Baseline.load(found) if found else Baseline()
+    elif baseline is False:
+        baseline = Baseline()
+    elif not isinstance(baseline, Baseline):
+        baseline = Baseline.load(baseline)
+
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules or all_rules():
+        for finding in rule.run(project, config):
+            if _suppressed(project, finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
+    new, baselined, stale = baseline.apply(findings)
+    return LintResult(
+        findings=findings,
+        new=new,
+        baselined=baselined,
+        stale=stale,
+        suppressed=suppressed,
+        files=project.file_count,
+        duration_seconds=time.perf_counter() - started,
+        baseline_path=baseline.path,
+        parse_errors=list(project.errors),
+    )
+
+
+def update_baseline(
+    paths: Optional[Sequence] = None,
+    *,
+    baseline_path,
+    config: LintConfig = DEFAULT_CONFIG,
+) -> Tuple[Baseline, LintResult]:
+    """Re-record the baseline from the current findings (the sanctioned
+    refresh path, wrapped by ``scripts/lint_baseline.py --update``)."""
+    result = run_lint(paths, baseline=False, config=config)
+    refreshed = Baseline.from_findings(result.findings, path=baseline_path)
+    refreshed.save()
+    return refreshed, result

@@ -1,0 +1,94 @@
+"""Rendering lint results: terminal text and the CI JSON artifact."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.model import Finding
+
+__all__ = ["render_text", "result_payload", "write_json"]
+
+REPORT_SCHEMA = 1
+
+
+def _line(finding: Finding) -> str:
+    return (
+        f"{finding.location()}: {finding.rule} {finding.message}\n"
+        f"    {finding.snippet}\n"
+        f"    fix: {finding.hint}"
+    )
+
+
+def render_text(result, verbose: bool = False) -> str:
+    """The human-readable report ``repro lint`` prints."""
+    sections: List[str] = []
+    if result.new:
+        sections.append("new findings (fail):")
+        sections.extend(_line(f) for f in result.new)
+    if result.baselined:
+        if verbose:
+            sections.append("baselined findings (known debt, burning down):")
+            sections.extend(_line(f) for f in result.baselined)
+        else:
+            sections.append(
+                f"{len(result.baselined)} baselined finding(s) "
+                f"(known debt; repro lint --verbose lists them)"
+            )
+    if result.stale:
+        sections.append(
+            "stale baseline entries (debt paid — run "
+            "scripts/lint_baseline.py --update to burn them down):"
+        )
+        sections.extend(f"  {key} (x{count})" for key, count in
+                        sorted(result.stale.items()))
+    for path, error in result.parse_errors:
+        sections.append(f"{path}: parse error: {error}")
+    counts = ", ".join(
+        f"{rule}={count}" for rule, count in sorted(result.rule_counts.items())
+    ) or "none"
+    sections.append(
+        f"checked {result.files} file(s) in {result.duration_seconds:.2f}s: "
+        f"{len(result.new)} new, {len(result.baselined)} baselined, "
+        f"{len(result.stale)} stale baseline entr"
+        f"{'y' if len(result.stale) == 1 else 'ies'} "
+        f"[{counts}]"
+    )
+    return "\n".join(sections)
+
+
+def _finding_payload(finding: Finding) -> Dict:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+        "hint": finding.hint,
+        "context": finding.context,
+        "snippet": finding.snippet,
+        "fingerprint": finding.fingerprint,
+    }
+
+
+def result_payload(result) -> Dict:
+    """The machine-readable report (uploaded as a CI artifact)."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "files": result.files,
+        "duration_seconds": result.duration_seconds,
+        "new": [_finding_payload(f) for f in result.new],
+        "baselined": [_finding_payload(f) for f in result.baselined],
+        "stale_baseline_entries": dict(sorted(result.stale.items())),
+        "parse_errors": [
+            {"path": path, "error": error}
+            for path, error in result.parse_errors
+        ],
+        "rule_counts": dict(sorted(result.rule_counts.items())),
+    }
+
+
+def write_json(result, path) -> None:
+    with open(path, "w") as handle:
+        json.dump(result_payload(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -50,7 +50,7 @@ import pickle
 import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Iterator, Optional, Union
 
 from repro import __version__
 from repro.experiments.config import ScenarioConfig

@@ -31,6 +31,12 @@ Commands
     same engine as ``catalog --topology``, defaulting to the three-
     region preset and reporting the region-level economics (remote
     fraction, egress spend, latency-adjusted quality).
+``lint``
+    Run the determinism lint engine (:mod:`repro.analysis`) — the
+    static rule pack (DET001–DET004, RES001, CKP001) over the package
+    source, gated against the committed ``lint_baseline.json``.
+    Non-zero exit on any non-baselined finding; ``--check`` (the CI
+    mode) also fails on stale baseline entries so debt burns down.
 
 Every engine-backed command (``run``, ``catalog``, ``geo``, and sweep
 cells) executes through :mod:`repro.api` — one `EngineConfig` ->
@@ -52,8 +58,8 @@ from repro.experiments.config import (
     PAPER,
     paper_capacity_model,
     paper_nfs_clusters,
-    paper_vm_clusters,
     paper_scenario,
+    paper_vm_clusters,
     small_scenario,
 )
 from repro.experiments.reporting import format_table, mbps
@@ -146,6 +152,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the multi-region catalog engine (geo extension)",
     )
     _add_catalog_args(geo, default_topology="us-eu-ap")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism lint rule pack (repro.analysis)",
+    )
+    lint.add_argument("paths", nargs="*", default=[],
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file (default: lint_baseline.json "
+                           "discovered above the lint target)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline (every finding is new)")
+    lint.add_argument("--check", action="store_true",
+                      help="CI mode: also fail on stale baseline "
+                           "entries (debt must burn down)")
+    lint.add_argument("--json", dest="json_out", default=None,
+                      metavar="PATH",
+                      help="write the machine-readable findings report")
+    lint.add_argument("--verbose", action="store_true",
+                      help="list baselined findings individually")
+    lint.add_argument("--rules", action="store_true", dest="list_rules",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -623,6 +652,28 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import render_text, run_lint
+    from repro.analysis.engine import all_rules
+    from repro.analysis.report import write_json
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"    {rule.doc}")
+            print(f"    fix: {rule.hint}")
+        return 0
+    baseline = False if args.no_baseline else args.baseline
+    result = run_lint(args.paths or None, baseline=baseline)
+    print(render_text(result, verbose=args.verbose))
+    if args.json_out is not None:
+        write_json(result, args.json_out)
+        print(f"wrote {args.json_out}")
+    if result.parse_errors:
+        return 2
+    return 1 if result.gate_failures(strict=args.check) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -634,6 +685,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "catalog": _cmd_catalog,
         "geo": _cmd_catalog,  # same engine, geo-flavored defaults
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

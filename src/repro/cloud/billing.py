@@ -16,7 +16,7 @@ matching the fine-grained usage-time charging the paper assumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
 from repro.cloud.cluster import NFSClusterSpec, VirtualClusterSpec

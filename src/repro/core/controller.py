@@ -56,8 +56,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Mapping, Optional, Protocol, Sequence, \
-    Tuple
+from typing import Any, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 

@@ -14,7 +14,7 @@ chunks end up co-located.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Tuple
 
 __all__ = ["PackedVM", "PackingResult", "pack_allocations"]
 

@@ -34,7 +34,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.cloud.broker import Broker, NegotiationError, ResourceRequest, SLAAgreement
+from repro.cloud.broker import NegotiationError, ResourceRequest, SLAAgreement
 from repro.core.controller import (
     AdaptPolicy,
     MPCPolicy,

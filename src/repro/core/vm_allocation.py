@@ -15,7 +15,7 @@ or capacity exhausted before all demand is served) is reported on the plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
 
 import numpy as np

@@ -29,12 +29,12 @@ from repro.experiments.config import (
     scenario_from_env,
     small_scenario,
 )
-from repro.experiments.runner import ClosedLoopEngine, ClosedLoopResult
 from repro.experiments.registry import (
     ScenarioSpec,
     UnknownScenarioError,
     summarize_closed_loop,
 )
+from repro.experiments.runner import ClosedLoopEngine, ClosedLoopResult
 from repro.experiments.sweep import (
     ArtifactStore,
     SweepCell,

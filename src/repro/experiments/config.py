@@ -16,8 +16,8 @@ benches run in minutes; setting ``REPRO_FULL=1`` selects paper scale.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
@@ -25,8 +25,7 @@ from repro.cloud.cluster import NFSClusterSpec, VirtualClusterSpec
 from repro.core.sla import SLATerms
 from repro.queueing.capacity import CapacityModel
 from repro.queueing.jackson import external_arrival_vector, solve_traffic_equations
-from repro.vod.channel import ChannelSpec, default_behaviour_matrix, \
-    make_uniform_channels
+from repro.vod.channel import ChannelSpec, default_behaviour_matrix, make_uniform_channels
 from repro.workload.pareto import BoundedPareto
 from repro.workload.trace import TraceConfig
 

@@ -8,13 +8,13 @@ them; EXPERIMENTS.md records the paper-vs-measured comparison.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.demand import aggregate_demand
-from repro.experiments.runner import ClosedLoopResult
 from repro.experiments.reporting import mbps
+from repro.experiments.runner import ClosedLoopResult
 
 __all__ = [
     "fig4_capacity_provisioning",

@@ -44,14 +44,12 @@ from repro.experiments.config import (
     paper_scenario,
     small_scenario,
 )
-from repro.experiments.runner import ClosedLoopResult
 from repro.experiments.reporting import mbps
-from repro.geo.allocation import GeoVMProblem, greedy_geo_allocation, \
-    lp_geo_allocation
+from repro.experiments.runner import ClosedLoopResult
+from repro.geo.allocation import GeoVMProblem, greedy_geo_allocation, lp_geo_allocation
 from repro.geo.region import GeoTopology, RegionSpec
 from repro.queueing.capacity import CapacityModel, solve_channel_capacity
-from repro.queueing.transitions import mixture_matrix, sequential_matrix, \
-    uniform_jump_matrix
+from repro.queueing.transitions import mixture_matrix, sequential_matrix, uniform_jump_matrix
 from repro.vod.channel import default_behaviour_matrix
 # Only CATALOG_VARIANTS may be imported from repro.workload.catalog at
 # module level (it is defined before that module's own experiment-layer

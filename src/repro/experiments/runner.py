@@ -22,9 +22,9 @@ import numpy as np
 from repro.cloud.billing import CostReport
 from repro.cloud.broker import Broker
 from repro.cloud.scheduler import CloudFacility
+from repro.core.controller import controller_class
 from repro.core.demand import DemandEstimator
 from repro.core.predictor import ArrivalRatePredictor
-from repro.core.controller import controller_class
 from repro.core.provisioner import ProvisioningDecision
 from repro.experiments.config import ScenarioConfig
 from repro.vod.simulator import SimulationResult, VoDSimulator, VoDSystemConfig

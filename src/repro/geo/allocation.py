@@ -14,7 +14,7 @@ utility-per-dollar style, and the exact LP optimum via scipy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Tuple
 
 import numpy as np

@@ -36,8 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.cloud.broker import Broker, NegotiationError, ResourceRequest, \
-    SLAAgreement
+from repro.cloud.broker import Broker, NegotiationError, ResourceRequest, SLAAgreement
 from repro.core.controller import (
     AdaptPolicy,
     MPCPolicy,
@@ -48,8 +47,7 @@ from repro.core.controller import (
 from repro.core.demand import ChannelDemand, DemandEstimator
 from repro.core.predictor import ArrivalRatePredictor
 from repro.core.sla import SLATerms
-from repro.core.storage_rental import StoragePlan, StorageProblem, \
-    greedy_storage_rental
+from repro.core.storage_rental import StoragePlan, StorageProblem, greedy_storage_rental
 from repro.geo.allocation import (
     GeoAllocationPlan,
     GeoVMProblem,

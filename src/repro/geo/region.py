@@ -9,7 +9,7 @@ discount) and the provider pays for cross-region egress bandwidth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.cloud.cluster import VirtualClusterSpec

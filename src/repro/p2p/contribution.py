@@ -42,8 +42,7 @@ import numpy as np
 
 from repro.p2p.coownership import CoOwnershipModel, independent_coownership
 from repro.p2p.ownership import OwnershipResult, solve_ownership
-from repro.queueing.capacity import CapacityModel, ChannelCapacityResult, \
-    solve_channel_capacity
+from repro.queueing.capacity import CapacityModel, ChannelCapacityResult, solve_channel_capacity
 
 __all__ = [
     "peer_contribution",

@@ -205,7 +205,7 @@ def mmm_stats(servers: int, arrival_rate: float, service_rate: float) -> MMmQueu
         )
     c = erlang_c(m, a)
     lq = c * a / (m - a)
-    l = a + lq
+    ls = a + lq
     return MMmQueueStats(
         servers=m,
         arrival_rate=arrival_rate,
@@ -213,8 +213,8 @@ def mmm_stats(servers: int, arrival_rate: float, service_rate: float) -> MMmQueu
         offered_load=a,
         utilization=a / m,
         wait_probability=c,
-        expected_in_system=l,
+        expected_in_system=ls,
         expected_waiting=lq,
-        expected_sojourn_time=l / arrival_rate,
+        expected_sojourn_time=ls / arrival_rate,
         expected_wait_time=lq / arrival_rate,
     )

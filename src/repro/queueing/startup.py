@@ -18,7 +18,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.queueing.capacity import CapacityModel, ChannelCapacityResult
 from repro.queueing.erlang import erlang_c

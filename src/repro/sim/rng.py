@@ -13,7 +13,22 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
-__all__ = ["make_rng", "RandomStreams"]
+__all__ = ["make_rng", "RandomStreams", "ENTROPY"]
+
+
+class _Entropy:
+    """Singleton sentinel: explicitly request an OS-entropy generator."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "repro.sim.rng.ENTROPY"
+
+
+#: Pass as ``seed`` to opt *in* to an irreproducible OS-entropy stream
+#: (interactive exploration only).  ``seed=None`` is no longer an
+#: implicit entropy source: it deterministically falls back to seed 0,
+#: so a forgotten seed can never silently break bit-reproducibility —
+#: irreproducibility now requires spelling ``ENTROPY`` at the call site.
+ENTROPY = _Entropy()
 
 
 def make_rng(seed: Optional[int], *names: str) -> np.random.Generator:
@@ -26,14 +41,17 @@ def make_rng(seed: Optional[int], *names: str) -> np.random.Generator:
     Parameters
     ----------
     seed:
-        Experiment master seed. ``None`` gives OS entropy (irreproducible;
-        only sensible for interactive exploration).
+        Experiment master seed.  ``None`` deterministically falls back
+        to seed 0 (``make_rng(None, *n) == make_rng(0, *n)``); OS
+        entropy is an explicit opt-in via the :data:`ENTROPY` sentinel.
     names:
         Arbitrary string labels identifying the component, e.g.
         ``make_rng(7, "workload", "arrivals")``.
     """
-    if seed is None:
+    if seed is ENTROPY:
         return np.random.default_rng()
+    if seed is None:
+        seed = 0
     label = "/".join(names)
     # Derive a stable 64-bit entropy word from the label.
     digest = np.uint64(14695981039346656037)  # FNV-1a offset basis
@@ -84,8 +102,6 @@ class RandomStreams:
 
     def spawn(self, *names: str) -> "RandomStreams":
         """Create a child registry with an independent derived seed."""
-        if self.seed is None:
-            return RandomStreams(None)
         child_seed = int(make_rng(self.seed, "spawn", *names).integers(0, 2**31 - 1))
         return RandomStreams(child_seed)
 

@@ -66,9 +66,9 @@ import numpy as np
 
 from repro.sim.rng import RandomStreams
 from repro.vod.channel import ChannelSpec
+from repro.vod.simulator import BandwidthLog, BandwidthSample, VoDSystemConfig
 from repro.vod.tracker import IntervalStats
 from repro.vod.user import HOLDING
-from repro.vod.simulator import BandwidthLog, BandwidthSample, VoDSystemConfig
 from repro.workload.catalog import ShardTraceArrays
 
 __all__ = ["MultiChannelSimulator", "channels_are_uniform"]

@@ -14,9 +14,11 @@ partition checks exercised by the tests and the overlay example.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
+
+from repro.sim.rng import make_rng
 
 __all__ = ["MeshOverlay"]
 
@@ -24,11 +26,16 @@ __all__ = ["MeshOverlay"]
 class MeshOverlay:
     """An undirected bounded-degree mesh for one channel."""
 
-    def __init__(self, max_degree: int = 8, *, rng: np.random.Generator = None) -> None:
+    def __init__(
+        self, max_degree: int = 8, *, rng: Optional[np.random.Generator] = None
+    ) -> None:
         if max_degree <= 0:
             raise ValueError("max_degree must be > 0")
         self.max_degree = max_degree
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # No raw np.random fallback: the default is the named
+        # seed-0 stream, so two default-constructed overlays make
+        # identical neighbor choices (pass an rng to vary them).
+        self.rng = rng if rng is not None else make_rng(0, "overlay", "mesh")
         self.neighbors: Dict[int, Set[int]] = {}
 
     def __contains__(self, peer: int) -> bool:

@@ -13,7 +13,7 @@ the provisioning controller consumes at the end of every interval T:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -15,9 +15,9 @@ PPLive-VoD characteristics; this package regenerates an equivalent trace:
 """
 
 from repro.workload.arrivals import (
-    poisson_arrival_times,
-    nonhomogeneous_poisson_times,
     interval_rates,
+    nonhomogeneous_poisson_times,
+    poisson_arrival_times,
 )
 from repro.workload.diurnal import DiurnalPattern
 from repro.workload.pareto import BoundedPareto
@@ -29,7 +29,7 @@ from repro.workload.tools import (
     thin_trace,
 )
 from repro.workload.trace import Session, Trace, TraceConfig, generate_trace
-from repro.workload.zipf import zipf_weights, assign_channel_rates
+from repro.workload.zipf import assign_channel_rates, zipf_weights
 
 #: Lazily re-exported from :mod:`repro.workload.catalog`, which reuses
 #: the paper constants/cluster presets from :mod:`repro.experiments.

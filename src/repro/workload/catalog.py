@@ -96,20 +96,19 @@ GEO_TOPOLOGIES = {
 
 from repro.cloud.cluster import NFSClusterSpec, VirtualClusterSpec
 from repro.core.sla import SLATerms
-from repro.geo.region import GeoTopology, RegionSpec
 from repro.experiments.config import (
     PAPER,
     PaperConstants,
     paper_capacity_model,
     paper_nfs_clusters,
-    paper_vm_clusters,
     paper_sla_terms,
+    paper_vm_clusters,
 )
+from repro.geo.region import GeoTopology, RegionSpec
 from repro.queueing.capacity import CapacityModel
 from repro.queueing.jackson import external_arrival_vector, solve_traffic_equations
 from repro.sim.rng import make_rng
-from repro.vod.channel import ChannelSpec, default_behaviour_matrix, \
-    make_uniform_channels
+from repro.vod.channel import ChannelSpec, default_behaviour_matrix, make_uniform_channels
 from repro.workload.arrivals import poisson_arrival_times
 from repro.workload.diurnal import DiurnalPattern
 from repro.workload.pareto import BoundedPareto

@@ -45,12 +45,12 @@ class BoundedPareto:
 
     def mean(self) -> float:
         """Mean of the truncated distribution (closed form)."""
-        k, l, h = self.shape, self.low, self.high
-        cap = 1.0 - (l / h) ** k
+        k, lo, h = self.shape, self.low, self.high
+        cap = 1.0 - (lo / h) ** k
         if k == 1.0:
-            integral = l * np.log(h / l)
+            integral = lo * np.log(h / lo)
         else:
-            integral = l**k * (l ** (1.0 - k) - h ** (1.0 - k)) * k / (k - 1.0)
+            integral = lo**k * (lo ** (1.0 - k) - h ** (1.0 - k)) * k / (k - 1.0)
         return float(integral / cap)
 
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.sim.rng import make_rng
 from repro.workload.trace import Session, Trace

@@ -1,0 +1,16 @@
+"""DET004 fixture: this file's path matches ``api.py`` and the function
+is ``resolve_workers`` — the sanctioned resolution point, not flagged —
+while the same read anywhere else in the file still is."""
+
+import os
+
+
+def resolve_workers(workers=None):
+    if workers is not None:
+        return max(1, int(workers))
+    raw = os.environ.get("FIXTURE_CATALOG_JOBS", "")
+    return max(1, int(raw)) if raw.strip() else 1
+
+
+def other_function():
+    return os.environ.get("FIXTURE_OTHER")  # EXPECT[DET004]

@@ -1,0 +1,21 @@
+"""CKP001 fixture: lambdas / local closures on ``self`` are unpicklable
+checkpoint state; module-level callables and plain values are fine."""
+
+
+def module_level_clock():
+    return 0.0
+
+
+class Engine:
+    def __init__(self, now):
+        self.clock = lambda: now  # EXPECT[CKP001]
+        self.epoch = 0
+        self.read_clock = module_level_clock  # picklable: module-level
+
+    def rebind(self, offset):
+        def shifted():
+            return offset + 1.0
+
+        self.clock = shifted  # EXPECT[CKP001]
+        # a *call* to the local closure is fine; storing it is the bug
+        self.epoch = shifted()

@@ -1,0 +1,41 @@
+"""A representative clean module: the whole rule pack must stay silent.
+
+Looks like real engine code — injected rng, ordered reductions, config
+threading, module-level clock class — so rule tightening that would
+flag idiomatic repo style shows up here first."""
+
+import numpy as np
+
+
+class EpochClock:
+    """Module-level picklable clock (the CKP001-approved shape)."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class MiniEngine:
+    def __init__(self, config, rng):
+        self.config = config
+        self.rng = rng  # injected, never constructed here
+        self.clock = EpochClock()
+        self.reports = []
+
+    def advance_epoch(self):
+        draws = self.rng.random(4)
+        self.reports.append(draws.sum())
+        self.clock.now += self.config["dt"]
+
+    def result(self):
+        ordered = sorted({round(r, 6) for r in self.reports})
+        return {"total": float(np.sum(ordered)), "t": self.clock.now}
+
+
+def run_cell(params, seed=2011):
+    engine = MiniEngine(dict(params), params["rng"])
+    for _ in range(int(params["epochs"])):
+        engine.advance_epoch()
+    return engine.result()

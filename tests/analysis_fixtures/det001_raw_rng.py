@@ -1,0 +1,37 @@
+"""DET001 fixture: raw RNG construction/draws outside sim/rng.py.
+
+Scanned (never imported) by tests/test_analysis.py; the trailing
+expectation markers are the test's expected-findings table.
+"""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # EXPECT[DET001]
+
+
+def seeded_but_raw(seed):
+    rng = np.random.default_rng(seed)  # EXPECT[DET001]
+    return rng.random()
+
+
+def module_level_distribution(n):
+    return np.random.normal(size=n)  # EXPECT[DET001]
+
+
+def imported_constructor():
+    return default_rng(7)  # EXPECT[DET001]
+
+
+def stdlib_random():
+    random.seed(0)  # EXPECT[DET001]
+    return random.random()  # EXPECT[DET001]
+
+
+def fine_with_injected_stream(rng):
+    # drawing from a passed-in generator is exactly what DET001 wants
+    return rng.integers(0, 10)

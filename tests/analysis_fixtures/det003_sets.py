@@ -1,0 +1,27 @@
+"""DET003 fixture: unordered set iteration/reduction on artifact paths.
+
+``sorted(...)`` imposes an order and is clean; reachability matters —
+the same pattern in an unreachable helper is not flagged."""
+
+
+def result():
+    shards = {3, 1, 2}
+    total = sum(shards)  # EXPECT[DET003]
+    for shard in shards:  # EXPECT[DET003]
+        total += shard
+    merged = [x * 2 for x in shards | {9}]  # EXPECT[DET003]
+    for shard in sorted(shards):  # ordered: clean
+        total += shard
+    ordered = [x for x in sorted(set(merged))]  # ordered: clean
+    return total + len(ordered)
+
+
+def advance_epoch():
+    seen = set()
+    seen.add(1)
+    return sum(seen.union({2}))  # EXPECT[DET003]
+
+
+def unreachable_helper():
+    # never called from an entry point: hash order cannot taint artifacts
+    return sum({1.0, 2.0, 3.0})

@@ -1,0 +1,20 @@
+"""DET004 fixture: environment reads outside the sanctioned points."""
+
+import os
+from os import environ, getenv
+
+
+def buried_config():
+    jobs = os.environ.get("FIXTURE_JOBS", "1")  # EXPECT[DET004]
+    if "FIXTURE_FLAG" in os.environ:  # EXPECT[DET004]
+        jobs = os.getenv("FIXTURE_JOBS")  # EXPECT[DET004]
+    return jobs
+
+
+def aliased_read():
+    return environ["HOME"], getenv("SHELL")  # EXPECT[DET004] EXPECT[DET004]
+
+
+def fine(config):
+    # configuration threaded through an explicit object
+    return config.jobs

@@ -1,0 +1,27 @@
+"""RES001 fixture (non-owner module): creating a segment anywhere but
+the owner module is a finding, and an attach-only scope that also
+unlinks violates the workers-never-unlink contract."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def rogue_create(size):
+    return shared_memory.SharedMemory(create=True, size=size)  # EXPECT[RES001]
+
+
+class Worker:
+    def attach(self, name):
+        self.shm = SharedMemory(name=name)  # EXPECT[RES001]
+
+    def teardown(self):
+        self.shm.close()
+        self.shm.unlink()  # the attach-only scope must never unlink
+
+
+class GoodWorker:
+    def attach(self, name):
+        self.shm = SharedMemory(name="fixture")
+
+    def teardown(self):
+        self.shm.close()

@@ -1,0 +1,9 @@
+"""DET001 fixture: this file's path ends in ``sim/rng.py``, the one
+sanctioned home for raw generator construction — nothing here may be
+flagged."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(np.random.SeedSequence([seed]))

@@ -1,0 +1,21 @@
+"""RES001 fixture (owner-module path ``sim/shm.py``): creates are legal
+here, but every creating scope still needs a paired unlink."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+class LeakySegment:
+    def __init__(self, size):
+        self.shm = SharedMemory(create=True, size=size)  # EXPECT[RES001]
+
+    def close(self):
+        self.shm.close()  # closes the mapping but never unlinks
+
+
+class OwnedSegment:
+    def __init__(self, size):
+        self.shm = SharedMemory(create=True, size=size)
+
+    def close(self):
+        self.shm.close()
+        self.shm.unlink()

@@ -13,22 +13,13 @@ The redesign's contract, pinned down here:
   ``open_run`` is the only entry point.
 """
 
-import os
 import pickle
 import warnings
 
 import numpy as np
 import pytest
 
-from repro.api import (
-    CHECKPOINT_SCHEMA,
-    EngineConfig,
-    EpochSnapshot,
-    Run,
-    open_run,
-    resolve_workers,
-    resume,
-)
+from repro.api import CHECKPOINT_SCHEMA, EngineConfig, Run, open_run, resolve_workers, resume
 from repro.experiments.config import small_scenario
 from repro.experiments.runner import ClosedLoopEngine
 from repro.sim.shard import summarize_catalog

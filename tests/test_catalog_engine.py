@@ -8,7 +8,6 @@ plus the catalog workload's partition/trace stability and the registry
 surface.
 """
 
-import os
 
 import numpy as np
 import pytest
@@ -24,7 +23,6 @@ from repro.sim.shard import (
     summarize_catalog,
 )
 from repro.workload.catalog import (
-    CATALOG_VARIANTS,
     CatalogConfig,
     build_shard_trace,
     catalog_config,
@@ -113,10 +111,11 @@ class TestCatalogWorkload:
         quiet = small_config(flash_fraction=0.0, phase_jitter_hours=0.0)
         surged = small_config(flash_fraction=1.0, phase_jitter_hours=0.0,
                               flash_amplitude=6.0)
-        count = lambda cfg: sum(
-            channel_sessions(cfg, shape)[0].size
-            for shape in channel_shapes(cfg)
-        )
+        def count(cfg):
+            return sum(
+                channel_sessions(cfg, shape)[0].size
+                for shape in channel_shapes(cfg)
+            )
         assert count(surged) > 1.3 * count(quiet)
 
     def test_target_population_sets_rate_by_littles_law(self):

@@ -5,7 +5,6 @@ import importlib.util
 import json
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.vod.tracker import TrackingServer
@@ -24,12 +23,14 @@ def _load_script(name):
 
 class TestPerfCheck:
     def _blocks(self, committed, measured):
-        wrap = lambda values: {
-            "kernels": {
-                label: {"steps_per_sec": value}
-                for label, value in values.items()
+        def wrap(values):
+            return {
+                "kernels": {
+                    label: {"steps_per_sec": value}
+                    for label, value in values.items()
+                }
             }
-        }
+
         return wrap(committed), wrap(measured)
 
     def test_flags_regressions_beyond_threshold(self):

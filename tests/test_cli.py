@@ -55,7 +55,7 @@ class TestAnalyze:
         high = capsys.readouterr().out
 
         def total(text):
-            line = [l for l in text.splitlines() if "total cloud demand" in l][0]
+            line = [ln for ln in text.splitlines() if "total cloud demand" in ln][0]
             return float(line.split(":")[1].split("Mbps")[0])
 
         assert total(high) <= total(low)

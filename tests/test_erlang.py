@@ -188,8 +188,8 @@ class TestExpectedValues:
 
     def test_sojourn_littles_law(self):
         lam, mu, m = 2.0, 0.5, 6
-        l = mmm_expected_number_in_system(m, lam / mu)
-        assert mmm_expected_sojourn_time(m, lam, mu) == pytest.approx(l / lam)
+        ls = mmm_expected_number_in_system(m, lam / mu)
+        assert mmm_expected_sojourn_time(m, lam, mu) == pytest.approx(ls / lam)
 
     def test_sojourn_zero_arrivals_is_service_time(self):
         assert mmm_expected_sojourn_time(3, 0.0, 0.25) == pytest.approx(4.0)

@@ -1,6 +1,5 @@
 """Tests for repro.experiments.config and reporting."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.config import (
@@ -8,9 +7,9 @@ from repro.experiments.config import (
     arrival_rate_for_population,
     paper_capacity_model,
     paper_nfs_clusters,
+    paper_scenario,
     paper_sla_terms,
     paper_vm_clusters,
-    paper_scenario,
     scenario_from_env,
     small_scenario,
 )

@@ -17,13 +17,13 @@ and swaps in the multi-region control plane.  These tests pin down
 import numpy as np
 import pytest
 
+from repro.api import EngineConfig, open_run
 from repro.cloud.billing import BillingMeter
 from repro.geo.allocation import (
     GeoVMProblem,
     greedy_geo_allocation,
     lp_geo_allocation,
 )
-from repro.api import EngineConfig, open_run
 from repro.sim.shard import (
     GeoCatalogResult,
     GeoShardedSimulator,

@@ -11,13 +11,13 @@ import pytest
 from repro.core.predictor import MovingAveragePredictor
 from repro.experiments.config import small_scenario
 from repro.experiments.figures import (
+    fig10_vm_cost,
     fig4_capacity_provisioning,
     fig5_streaming_quality,
     fig6_quality_vs_channel_size,
     fig7_bandwidth_vs_channel_size,
     fig8_storage_utility,
     fig9_vm_utility,
-    fig10_vm_cost,
 )
 from repro.experiments.runner import ClosedLoopEngine
 

@@ -22,7 +22,7 @@ class TestOwnership:
                 if j == i:
                     assert nu[i, i] == pytest.approx(n[i])
                     continue
-                expected = sum(nu[i, l] * p[l, j] for l in range(5))
+                expected = sum(nu[i, k] * p[k, j] for k in range(5))
                 assert nu[i, j] == pytest.approx(expected, abs=1e-9)
 
     def test_sequential_chain_ownership(self):

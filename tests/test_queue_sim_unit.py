@@ -9,8 +9,8 @@ import numpy as np
 import pytest
 
 from repro.cloud.cluster import VirtualClusterSpec
-from repro.cloud.vm import VMPool
 from repro.cloud.monitor import VMMonitor
+from repro.cloud.vm import VMPool
 from repro.queueing.transitions import sequential_matrix, uniform_jump_matrix
 from repro.vod.queue_sim import JacksonChannelSimulator
 

@@ -1,6 +1,5 @@
 """Tests for repro.core.storage_rental: Eqn (6) solvers."""
 
-import math
 
 import numpy as np
 import pytest

@@ -13,7 +13,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.vod.user import HOLDING, UserStore
+from repro.vod.user import UserStore
 
 NUM_CHUNKS = 5
 

@@ -1,10 +1,9 @@
 """Failure injection: VM boot failures and the scheduler's retry path."""
 
-import numpy as np
 import pytest
 
 from repro.cloud.cluster import VirtualClusterSpec
-from repro.cloud.vm import VMPool, VMState
+from repro.cloud.vm import VMPool
 from repro.sim.engine import Simulator
 from repro.sim.rng import make_rng
 

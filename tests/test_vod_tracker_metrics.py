@@ -1,6 +1,5 @@
 """Tests for repro.vod.tracker and repro.vod.metrics."""
 
-import numpy as np
 import pytest
 
 from repro.vod.metrics import QualityTracker

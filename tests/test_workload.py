@@ -134,7 +134,8 @@ class TestArrivals:
 
     def test_thinning_matches_mean_rate(self):
         rng = make_rng(2, "a")
-        rate_fn = lambda t: 1.0 + np.sin(2 * np.pi * t / 1000.0) ** 2
+        def rate_fn(t):
+            return 1.0 + np.sin(2 * np.pi * t / 1000.0) ** 2
         times = nonhomogeneous_poisson_times(rng, rate_fn, 20_000.0, 2.0)
         # Mean of rate_fn is 1.5.
         assert len(times) == pytest.approx(30_000, rel=0.05)
