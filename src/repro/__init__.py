@@ -38,6 +38,14 @@ Packages
     The one session-style surface over every engine: ``EngineConfig`` ->
     ``open_run`` -> a ``Run`` handle that streams per-epoch reports,
     checkpoints mid-run and resumes byte-identically (docs/api.md).
+``repro.service``
+    The async multi-run host over ``repro.api``: concurrent runs behind
+    one HTTP port with SSE epoch streams, checkpoint persistence, crash
+    recovery and a live dashboard (``repro serve`` / ``repro submit``;
+    docs/service.md).
+``repro.analysis``
+    The determinism lint engine behind ``repro lint`` (rule pack +
+    baseline gating; docs/static-analysis.md).
 
 Quickstart
 ----------
@@ -49,6 +57,6 @@ Quickstart
 True
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["__version__"]

@@ -48,12 +48,14 @@ import operator
 import os
 import pickle
 import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+import numpy as np
 
 from repro import __version__
-from repro.experiments.config import ScenarioConfig
+from repro.experiments.config import PaperConstants, ScenarioConfig
 from repro.workload.catalog import CatalogConfig, GeoCatalogConfig
 
 __all__ = [
@@ -119,6 +121,75 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
 #: Any spec the engines understand (GeoCatalogConfig is a CatalogConfig).
 EngineSpec = Union[ScenarioConfig, CatalogConfig]
+
+#: ``kind`` tag -> spec class, the discriminator of the JSON wire format
+#: (``GeoCatalogConfig`` must be matched before its ``CatalogConfig``
+#: base, which :attr:`EngineConfig.kind` already guarantees).
+_SPEC_CLASSES = {
+    "closed-loop": ScenarioConfig,
+    "catalog": CatalogConfig,
+    "geo-catalog": GeoCatalogConfig,
+}
+
+
+def _plain(value):
+    """Coerce numpy scalars/arrays to plain JSON-serializable values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def _spec_to_dict(spec: EngineSpec) -> Dict[str, Any]:
+    """One spec dataclass as a JSON-serializable field dict."""
+    out: Dict[str, Any] = {}
+    for spec_field in fields(spec):
+        value = getattr(spec, spec_field.name)
+        if spec_field.name == "constants":
+            value = {
+                f.name: _plain(getattr(value, f.name))
+                for f in fields(PaperConstants)
+            }
+        out[spec_field.name] = _plain(value)
+    return out
+
+
+def _constants_from_dict(data: Any) -> PaperConstants:
+    if not isinstance(data, dict):
+        raise ValueError(
+            "'constants' must be a dict of PaperConstants fields, "
+            f"got {type(data).__name__}"
+        )
+    allowed = {f.name for f in fields(PaperConstants)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown PaperConstants keys: {', '.join(unknown)}"
+        )
+    return PaperConstants(**data)
+
+
+def _spec_from_dict(kind: str, data: Any) -> EngineSpec:
+    """Strictly rebuild the spec a ``kind``-tagged field dict describes."""
+    spec_cls = _SPEC_CLASSES[kind]
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"'spec' must be a dict of {spec_cls.__name__} fields, "
+            f"got {type(data).__name__}"
+        )
+    allowed = {f.name for f in fields(spec_cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown {spec_cls.__name__} keys: {', '.join(unknown)}"
+        )
+    kwargs = dict(data)
+    if kwargs.get("constants") is not None:
+        kwargs["constants"] = _constants_from_dict(kwargs["constants"])
+    if kwargs.get("behaviour") is not None:
+        kwargs["behaviour"] = np.asarray(kwargs["behaviour"], dtype=float)
+    return spec_cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -200,6 +271,60 @@ class EngineConfig:
             return 1
         return resolve_workers(self.workers)
 
+    # -- JSON wire format (POST /runs and standalone persistence) -------
+    def to_dict(self) -> Dict[str, Any]:
+        """The config as one JSON-serializable dict.
+
+        The spec class is encoded as the ``kind`` tag; every spec field
+        (including ``constants`` and, for scenarios, an optional
+        ``behaviour`` matrix as nested lists) is carried so the dict is
+        self-contained.  Numpy scalars are coerced to plain Python, and
+        :meth:`from_dict` round-trips the result exactly.
+        """
+        return {
+            "kind": self.kind,
+            "spec": _spec_to_dict(self.spec),
+            "workers": _plain(self.workers),
+            "predictor": self.predictor,
+            "controller": self.controller,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "EngineConfig":
+        """Strictly rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys — at the top level, in ``spec`` and in
+        ``constants`` — fail fast with a :class:`ValueError` naming
+        them, so a typoed field can never silently fall back to a
+        default on the far side of an HTTP submission.
+        """
+        if not isinstance(data, dict):
+            raise TypeError(
+                "EngineConfig.from_dict needs a dict, "
+                f"got {type(data).__name__}"
+            )
+        data = dict(data)
+        kind = data.pop("kind", None)
+        if kind not in _SPEC_CLASSES:
+            raise ValueError(
+                f"unknown engine kind {kind!r} "
+                f"(expected one of: {', '.join(_SPEC_CLASSES)})"
+            )
+        spec_data = data.pop("spec", None)
+        workers = data.pop("workers", None)
+        predictor = data.pop("predictor", None)
+        controller = data.pop("controller", None)
+        if data:
+            raise ValueError(
+                f"unknown EngineConfig keys: {', '.join(sorted(data))}"
+            )
+        return cls(
+            spec=_spec_from_dict(kind, spec_data),
+            workers=workers,
+            predictor=predictor,
+            controller=controller,
+        )
+
 
 @dataclass(frozen=True)
 class EpochSnapshot:
@@ -232,6 +357,56 @@ class EpochSnapshot:
     @property
     def is_final(self) -> bool:
         return self.index >= self.epochs_total
+
+    # -- JSON wire format (the SSE event payload) ------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The snapshot as one JSON-serializable dict.
+
+        Every scalar field is carried (numpy scalars coerced to plain
+        Python); ``decision`` — the full provisioning-decision object —
+        has no JSON form and is dropped.  :meth:`from_dict` round-trips
+        the rest exactly.
+        """
+        return {
+            "index": int(self.index),
+            "epochs_total": int(self.epochs_total),
+            "t_end": float(self.t_end),
+            "arrivals": int(self.arrivals),
+            "departures": int(self.departures),
+            "population": int(self.population),
+            "peak_population": int(self.peak_population),
+            "used_mbps": float(self.used_mbps),
+            "peer_mbps": float(self.peer_mbps),
+            "provisioned_mbps": float(self.provisioned_mbps),
+            "shortfall_mbps": float(self.shortfall_mbps),
+            "quality": float(self.quality),
+            "vm_cost_per_hour": float(self.vm_cost_per_hour),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "EpochSnapshot":
+        """Strictly rebuild a snapshot from :meth:`to_dict` output
+        (``decision`` is ``None``; unknown or missing keys fail fast)."""
+        if not isinstance(data, dict):
+            raise TypeError(
+                "EpochSnapshot.from_dict needs a dict, "
+                f"got {type(data).__name__}"
+            )
+        data = dict(data)
+        kwargs = {}
+        for snap_field in fields(cls):
+            if snap_field.name == "decision":
+                continue
+            if snap_field.name not in data:
+                raise ValueError(
+                    f"missing EpochSnapshot key {snap_field.name!r}"
+                )
+            kwargs[snap_field.name] = data.pop(snap_field.name)
+        if data:
+            raise ValueError(
+                f"unknown EpochSnapshot keys: {', '.join(sorted(data))}"
+            )
+        return cls(**kwargs)
 
 
 class Engine:
@@ -321,6 +496,23 @@ class Run:
         return self._engine.done
 
     # -- execution -----------------------------------------------------
+    def advance(self) -> Optional[EpochSnapshot]:
+        """Run exactly one epoch; ``None`` once the horizon is reached.
+
+        The step-wise face of :meth:`epochs`, for callers that need to
+        interleave other work between epochs (the service host pushes
+        each ``advance()`` through a worker thread so its event loop
+        never blocks on a provisioning epoch).
+        """
+        payload = self._engine.advance_epoch()
+        if payload is None:
+            return None
+        payload = dict(payload)
+        index = payload.pop("epoch")
+        return EpochSnapshot(
+            index=index, epochs_total=self.epochs_total, **payload
+        )
+
     def epochs(self) -> Iterator[EpochSnapshot]:
         """Stream the remaining epochs as they complete.
 
@@ -328,14 +520,11 @@ class Run:
         :meth:`epochs` again continues from the next unconsumed epoch
         (the cursor lives in the engine, not the iterator).
         """
-        total = self.epochs_total
         while True:
-            payload = self._engine.advance_epoch()
-            if payload is None:
+            snapshot = self.advance()
+            if snapshot is None:
                 return
-            payload = dict(payload)
-            index = payload.pop("epoch")
-            yield EpochSnapshot(index=index, epochs_total=total, **payload)
+            yield snapshot
 
     def result(self):
         """Drain any remaining epochs and return the monolithic artifact.
@@ -384,6 +573,32 @@ class Run:
         return dict(getattr(self._engine, "phase_seconds", {}) or {})
 
     # -- lifecycle -----------------------------------------------------
+    def suspend(self) -> None:
+        """Park the run between epochs, releasing worker processes.
+
+        The sharded engines gather their live shard state into the
+        parent and tear down workers plus the shared-memory epoch
+        plane; the next :meth:`advance` transparently respawns them and
+        results stay byte-identical.  Engines without worker processes
+        (the closed loop) treat this as a no-op.  A host pausing a run
+        indefinitely calls this so paused runs hold no processes or
+        ``/dev/shm`` blocks.
+        """
+        suspend = getattr(self._engine, "suspend", None)
+        if suspend is not None:
+            suspend()
+
+    def shm_segments(self) -> List[str]:
+        """Names of live ``/dev/shm`` segments owned by this run.
+
+        Empty for serial, suspended, unstarted or closed engines.  A
+        supervising host records these so the segments of a SIGKILLed
+        process can be reclaimed on restart
+        (:func:`repro.sim.shm.unlink_stale_segment`).
+        """
+        name = getattr(self._engine, "shm_segment_name", None)
+        return [name] if name else []
+
     def close(self) -> None:
         self._engine.close()
 

@@ -37,6 +37,17 @@ Commands
     source, gated against the committed ``lint_baseline.json``.
     Non-zero exit on any non-baselined finding; ``--check`` (the CI
     mode) also fails on stale baseline entries so debt burns down.
+``serve``
+    Start the run service (:mod:`repro.service`): a bounded pool of
+    concurrent hosted runs behind one HTTP port — submit over
+    ``POST /runs``, stream epochs over Server-Sent Events, pause /
+    resume / checkpoint live, watch the dashboard on ``GET /``.  With
+    ``--state-dir`` runs auto-checkpoint and a restarted server
+    re-adopts them (crash recovery); see ``docs/service.md``.
+``submit``
+    Submit a catalog run to a ``repro serve`` instance (the same knobs
+    as ``catalog``/``geo``); ``--stream`` follows the SSE epoch feed,
+    ``--wait`` blocks for the canonical result artifact.
 
 Every engine-backed command (``run``, ``catalog``, ``geo``, and sweep
 cells) executes through :mod:`repro.api` — one `EngineConfig` ->
@@ -175,6 +186,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="list baselined findings individually")
     lint.add_argument("--rules", action="store_true", dest="list_rules",
                       help="print the rule catalog and exit")
+
+    serve = sub.add_parser(
+        "serve",
+        help="host concurrent runs behind HTTP + SSE (repro.service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8352,
+                       help="bind port (0 = ephemeral; printed on start)")
+    serve.add_argument("--state-dir", default=None,
+                       help="checkpoint/artifact directory; enables "
+                            "crash recovery and run re-adoption")
+    serve.add_argument("--max-runs", type=int, default=4,
+                       help="runs executing concurrently (default: 4)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="admitted-but-waiting runs before POST /runs "
+                            "answers 503 (default: 16)")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       help="auto-checkpoint period in epochs "
+                            "(0 = only on pause/request; needs "
+                            "--state-dir)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a catalog run to a repro serve instance",
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8352",
+                        help="service base URL (default: "
+                             "http://127.0.0.1:8352)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the run finishes and print the "
+                             "summary (with --out: save the canonical "
+                             "artifact JSON)")
+    _add_catalog_args(submit, default_topology=None)
     return parser
 
 
@@ -523,12 +568,13 @@ def _catalog_knob_names(factory) -> List[str]:
             if name != "name"]
 
 
-def _cmd_catalog(args: argparse.Namespace) -> int:
-    import json
-    import time
+def _catalog_config_from_args(args: argparse.Namespace):
+    """Build the catalog/geo spec from the shared CLI knobs.
 
-    from repro.api import EngineConfig, open_run
-    from repro.sim.shard import summarize_catalog
+    The shared front half of ``catalog``, ``geo`` and ``submit``.
+    Usage errors (unknown --set keys, values the config dataclasses
+    reject) print to stderr and return ``None``; callers exit 2.
+    """
     from repro.workload.catalog import (
         CATALOG_VARIANTS,
         catalog_config,
@@ -550,7 +596,7 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     if args.topology is None and args.exact:
         print("--exact selects the geo LP solver and needs --topology "
               "(or use `repro geo`)", file=sys.stderr)
-        return 2
+        return None
 
     factory = geo_catalog_config if args.topology is not None \
         else catalog_config
@@ -561,7 +607,7 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
         # Fail fast before any engine work, naming the valid knobs.
         print(f"unknown --set key(s) {', '.join(unknown)} "
               f"(valid: {', '.join(valid)})", file=sys.stderr)
-        return 2
+        return None
     if args.topology is not None:
         knobs.update(topology=args.topology, exact=args.exact)
         knobs.update(overrides)
@@ -574,11 +620,23 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
         # or --topology value the flags let through, e.g. an unknown
         # topology preset) with a precise message — surface it as the
         # usage error it is, not a traceback.
-        config = factory(**knobs)
+        return factory(**knobs)
     except (TypeError, ValueError) as exc:
         # TypeError covers --set values of the wrong JSON container
         # type (e.g. --set 'num_shards=[2]'); both are usage errors.
         print(exc.args[0], file=sys.stderr)
+        return None
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.api import EngineConfig, open_run
+    from repro.sim.shard import summarize_catalog
+
+    config = _catalog_config_from_args(args)
+    if config is None:
         return 2
 
     started = time.perf_counter()
@@ -652,6 +710,96 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import RunHost, ServiceServer
+
+    async def serve() -> int:
+        host = RunHost(
+            max_concurrent=args.max_runs,
+            queue_limit=args.queue_limit,
+            state_dir=args.state_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+        server = ServiceServer(host, bind=args.host, port=args.port)
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        state = f" state-dir={args.state_dir}" if args.state_dir else ""
+        # The exact line the smoke scripts and tests wait for.
+        print(f"repro-service listening on "
+              f"http://{args.host}:{server.port}{state}", flush=True)
+        await stop.wait()
+        print("repro-service draining (checkpointing live runs)",
+              flush=True)
+        await server.close()
+        return 0
+
+    return asyncio.run(serve())
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.api import EngineConfig
+    from repro.service import ServiceClient, ServiceError
+
+    config = _catalog_config_from_args(args)
+    if config is None:
+        return 2
+    engine_config = EngineConfig(
+        spec=config, workers=args.jobs, controller=args.controller
+    )
+    client = ServiceClient(args.url)
+    try:
+        run_id = client.submit(engine_config)
+        print(f"submitted {run_id} ({engine_config.kind} "
+              f"{config.name!r}) to {args.url}")
+        if args.stream:
+            for event in client.events(run_id):
+                if event["event"] != "epoch":
+                    continue
+                snap = event["data"]
+                print(f"  epoch {snap['index']:>3}/{snap['epochs_total']} "
+                      f"t={snap['t_end'] / 3600:.2f}h "
+                      f"pop={snap['population']} "
+                      f"used={snap['used_mbps']:.0f} Mbps "
+                      f"quality={snap['quality']:.3f} "
+                      f"vm=${snap['vm_cost_per_hour']:.2f}/h")
+        if not (args.wait or args.stream):
+            return 0
+        info = client.wait(run_id)
+        if info["state"] != "done":
+            print(f"run {run_id} ended {info['state']}: "
+                  f"{info.get('error') or 'cancelled'}", file=sys.stderr)
+            return 1
+        data = client.result_bytes(run_id)
+        if args.out is not None:
+            with open(args.out, "wb") as handle:
+                handle.write(data)
+            print(f"wrote {args.out}")
+        import hashlib
+        import json
+
+        summary = json.loads(data.decode("utf-8"))["summary"]
+        print(format_table(
+            ["metric", "value"],
+            [[key, f"{value:.4f}" if isinstance(value, float) else value]
+             for key, value in sorted(summary.items())],
+            title=f"run {run_id} summary "
+                  f"(sha256 {hashlib.sha256(data).hexdigest()[:16]}…)",
+        ))
+        return 0
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import render_text, run_lint
     from repro.analysis.engine import all_rules
@@ -686,6 +834,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "catalog": _cmd_catalog,
         "geo": _cmd_catalog,  # same engine, geo-flavored defaults
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return handlers[args.command](args)
 

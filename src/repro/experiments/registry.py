@@ -49,6 +49,7 @@ from repro.experiments.runner import ClosedLoopResult
 from repro.geo.allocation import GeoVMProblem, greedy_geo_allocation, lp_geo_allocation
 from repro.geo.region import GeoTopology, RegionSpec
 from repro.queueing.capacity import CapacityModel, solve_channel_capacity
+from repro.sim.rng import make_rng
 from repro.queueing.transitions import mixture_matrix, sequential_matrix, uniform_jump_matrix
 from repro.vod.channel import default_behaviour_matrix
 # Only CATALOG_VARIANTS may be imported from repro.workload.catalog at
@@ -410,8 +411,13 @@ def _run_chunk_size(*, seed: int, t0_minutes: float = 5.0,
 def heuristic_demands(
     num_chunks: int, seed: int, scale: float = 2.0
 ) -> Dict[Tuple[int, int], float]:
-    """Random per-chunk bandwidth demands for the heuristic micro-bench."""
-    rng = np.random.default_rng(seed)
+    """Random per-chunk bandwidth demands for the heuristic micro-bench.
+
+    The draws come from a named, seed-derived stream (the repo-wide
+    determinism contract), so the micro-bench cells hash and replay
+    like every other experiment.
+    """
+    rng = make_rng(seed, "experiments", "heuristic-demands")
     rate = PAPER.vm_bandwidth
     return {
         (c // 20, c % 20): float(rng.uniform(0.0, scale)) * rate

@@ -361,6 +361,9 @@ class ClosedLoopEngine:
     def close(self) -> None:
         """Nothing to tear down (kept for engine-protocol symmetry)."""
 
+    def suspend(self) -> None:
+        """No worker processes to park (engine-protocol symmetry)."""
+
     def __enter__(self) -> "ClosedLoopEngine":
         return self
 

@@ -1,0 +1,54 @@
+"""`repro.service`: a long-lived, multi-run host over :mod:`repro.api`.
+
+The paper's premise is provisioning as an *online service* — a
+controller that watches demand and reshapes cloud capacity continuously.
+This package is that face of the repo: where :func:`repro.api.open_run`
+executes one run per process, the service hosts many concurrent runs
+behind one asyncio event loop and one HTTP port, without giving up any
+of the engine contracts (byte-determinism, checkpoint/resume,
+worker-count invariance).
+
+Three stdlib-only layers:
+
+* :mod:`repro.service.host` — :class:`RunHost`: a bounded pool of
+  concurrent :class:`repro.api.Run` drivers (admission queue with
+  backpressure; per-run epoch advance pushed through a worker thread so
+  the event loop never blocks on a provisioning epoch), periodic
+  auto-checkpoints into a state directory, and crash recovery that
+  re-adopts checkpointed runs on startup.
+* :mod:`repro.service.server` — :class:`ServiceServer`: the asyncio
+  HTTP front end (``POST /runs``, status, Server-Sent-Events epoch
+  streams with mid-run replay, pause/resume/checkpoint controls, and a
+  single-file live dashboard on ``GET /``).
+* :mod:`repro.service.client` — :class:`ServiceClient`: a minimal
+  blocking client for tests, examples and the ``repro submit`` CLI.
+
+The canonical result document a run serves over HTTP is built by
+:mod:`repro.service.artifact`; its bytes (hence sha256) are identical
+to encoding the same :class:`~repro.api.EngineConfig`'s ``open_run``
+result directly — the service never perturbs what it hosts.
+
+See ``docs/service.md`` for the endpoint reference, the run state
+machine, the state-dir layout and the crash-recovery contract.
+"""
+
+from repro.service.artifact import artifact_bytes, result_payload, sha256_hex
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.host import (
+    QueueFullError,
+    RunHost,
+    UnknownRunError,
+)
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "RunHost",
+    "ServiceServer",
+    "ServiceClient",
+    "ServiceError",
+    "QueueFullError",
+    "UnknownRunError",
+    "artifact_bytes",
+    "result_payload",
+    "sha256_hex",
+]

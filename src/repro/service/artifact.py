@@ -1,0 +1,116 @@
+"""Canonical JSON artifacts for service-hosted runs.
+
+A run's result travels over HTTP as ONE canonical JSON document, and
+the byte-identity of that document is the service's parity contract:
+submitting an :class:`~repro.api.EngineConfig` through ``POST /runs``
+and fetching ``GET /runs/{id}/result`` yields exactly the bytes of
+:func:`artifact_bytes` applied to the same config's
+``open_run(...).result()`` — sha256-comparable across processes,
+restarts and checkpoint/resume boundaries.
+
+Canonical means: keys sorted, no whitespace, plain Python scalars only
+(numpy coerced), one trailing newline.  The document carries the flat
+summary metrics (the sweep schema from
+:func:`repro.sim.shard.summarize_catalog`) plus the full step/epoch
+series, so it is diffable when a parity check ever fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+__all__ = ["result_payload", "artifact_bytes", "sha256_hex"]
+
+
+def _plain(value: Any) -> Any:
+    """Numpy scalars -> plain Python (json.dumps rejects np.float64)."""
+    return value.item() if hasattr(value, "item") else value
+
+
+def _closed_loop_payload(result) -> Dict[str, Any]:
+    populations = list(result.population_series)
+    return {
+        "kind": "closed-loop",
+        "summary": {
+            "average_quality": float(result.average_quality),
+            "mean_vm_cost_per_hour": float(result.mean_vm_cost_per_hour),
+            "final_population": int(populations[-1]) if populations else 0,
+            "peak_population": int(max(populations)) if populations else 0,
+            "epochs": len(result.interval_times),
+        },
+        "series": {
+            "interval_times": [float(v) for v in result.interval_times],
+            "provisioned": [float(v) for v in result.provisioned_series],
+            "used": [float(v) for v in result.used_series],
+            "peer": [float(v) for v in result.peer_series],
+            "populations": [int(v) for v in populations],
+            "vm_cost": [float(v) for v in result.vm_cost_series],
+        },
+    }
+
+
+def _catalog_payload(kind: str, result) -> Dict[str, Any]:
+    from repro.sim.shard import summarize_catalog
+
+    payload: Dict[str, Any] = {
+        "kind": kind,
+        "summary": {
+            key: _plain(value)
+            for key, value in summarize_catalog(result).items()
+        },
+        "series": {
+            "times": result.times.tolist(),
+            "cloud_used": result.cloud_used.tolist(),
+            "peer_used": result.peer_used.tolist(),
+            "provisioned": result.provisioned.tolist(),
+            "shortfall": result.shortfall.tolist(),
+            "populations": result.populations.tolist(),
+            "quality_times": result.quality_times.tolist(),
+            "quality": result.quality.tolist(),
+            "epoch_times": [float(v) for v in result.epoch_times],
+            "vm_cost": [float(v) for v in result.vm_cost_series],
+        },
+        "channel_populations": {
+            str(channel): int(count)
+            for channel, count in sorted(result.channel_populations.items())
+        },
+    }
+    if kind == "geo-catalog":
+        payload["geo"] = {
+            "region_names": list(result.region_names),
+            "epoch_discounts": [float(v) for v in result.epoch_discounts],
+            "epoch_remote_fractions": [
+                float(v) for v in result.epoch_remote_fractions
+            ],
+            "epoch_egress_rates": [
+                float(v) for v in result.epoch_egress_rates
+            ],
+        }
+    return payload
+
+
+def result_payload(kind: str, result) -> Dict[str, Any]:
+    """One JSON-serializable document for a drained run's result.
+
+    ``kind`` is the :attr:`repro.api.EngineConfig.kind` tag; ``result``
+    the matching monolithic artifact (``ClosedLoopResult`` /
+    ``CatalogResult`` / ``GeoCatalogResult``).
+    """
+    if kind == "closed-loop":
+        return _closed_loop_payload(result)
+    if kind in ("catalog", "geo-catalog"):
+        return _catalog_payload(kind, result)
+    raise ValueError(f"unknown engine kind {kind!r}")
+
+
+def artifact_bytes(payload: Dict[str, Any]) -> bytes:
+    """The payload's canonical encoding (the sha256-comparable bytes)."""
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("ascii")
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()

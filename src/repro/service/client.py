@@ -1,0 +1,197 @@
+"""A minimal blocking client for the service (stdlib ``http.client``).
+
+The client is the consumer side of the parity contract: everything it
+returns is either the run's status document, the SSE event stream, or
+the canonical artifact *bytes* (hash them yourself; the service never
+re-encodes).  It backs the ``repro submit`` CLI and the service tests.
+
+No wall-clock reads anywhere: waiting is expressed as bounded attempt
+loops around ``time.sleep`` (determinism lint bans the clock calls, and
+attempt counts make test timeouts explicit instead of time-dependent).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.api import EngineConfig
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance.
+
+    Parameters
+    ----------
+    url:
+        Base URL, e.g. ``http://127.0.0.1:8352`` (the scheme is
+        tolerated and stripped; only plain HTTP is spoken).
+    poll_seconds:
+        Sleep between attempts in the waiting helpers.
+    """
+
+    def __init__(self, url: str, *, poll_seconds: float = 0.2) -> None:
+        address = url.split("://", 1)[-1].rstrip("/")
+        host, _, port = address.partition(":")
+        self.host = host or "127.0.0.1"
+        self.port = int(port) if port else 80
+        self.poll_seconds = float(poll_seconds)
+
+    # ------------------------------------------------------------------
+    # Raw request plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> bytes:
+        connection = http.client.HTTPConnection(self.host, self.port)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                message = data.decode("utf-8", "replace").strip()
+                try:
+                    message = json.loads(message)["error"]
+                except (ValueError, KeyError, TypeError):
+                    pass
+                raise ServiceError(response.status, message)
+            return data
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, body: Optional[bytes] = None) -> Any:
+        return json.loads(self._request(method, path, body).decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # The API surface
+    # ------------------------------------------------------------------
+    def healthy(self) -> bool:
+        try:
+            return self._json("GET", "/healthz").get("status") == "ok"
+        except (ServiceError, OSError):
+            return False
+
+    def wait_healthy(self, attempts: int = 100) -> None:
+        """Poll ``/healthz`` until it answers (serve-subprocess startup)."""
+        for remaining in range(attempts, 0, -1):
+            if self.healthy():
+                return
+            if remaining > 1:
+                time.sleep(self.poll_seconds)
+        raise ServiceError(503, f"service not healthy after {attempts} attempts")
+
+    def submit(self, config: Union[EngineConfig, Dict[str, Any]]) -> str:
+        """POST a run; returns its id."""
+        document = (
+            config.to_dict() if isinstance(config, EngineConfig) else config
+        )
+        body = json.dumps(document).encode("utf-8")
+        return self._json("POST", "/runs", body)["id"]
+
+    def runs(self) -> List[Dict[str, Any]]:
+        return self._json("GET", "/runs")["runs"]
+
+    def run(self, run_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/runs/{run_id}")
+
+    def pause(self, run_id: str) -> None:
+        self._json("POST", f"/runs/{run_id}/pause")
+
+    def resume(self, run_id: str) -> None:
+        self._json("POST", f"/runs/{run_id}/resume")
+
+    def checkpoint(self, run_id: str) -> str:
+        """Checkpoint at the next epoch boundary; returns the host path."""
+        return self._json("POST", f"/runs/{run_id}/checkpoint")["checkpoint"]
+
+    def cancel(self, run_id: str) -> None:
+        self._json("DELETE", f"/runs/{run_id}")
+
+    def result_bytes(self, run_id: str, attempts: int = 1) -> bytes:
+        """The canonical artifact bytes (sha256 these for parity checks).
+
+        With ``attempts > 1``, retries through the 409 window while the
+        run is still executing.
+        """
+        for remaining in range(attempts, 0, -1):
+            try:
+                return self._request("GET", f"/runs/{run_id}/result")
+            except ServiceError as exc:
+                if exc.status != 409 or remaining == 1:
+                    raise
+            time.sleep(self.poll_seconds)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def result(self, run_id: str, attempts: int = 1) -> Dict[str, Any]:
+        """The artifact parsed back into a document."""
+        return json.loads(self.result_bytes(run_id, attempts).decode("utf-8"))
+
+    def wait(self, run_id: str, attempts: int = 3000) -> Dict[str, Any]:
+        """Poll until the run reaches a terminal state; returns its info."""
+        terminal = ("done", "failed", "cancelled")
+        info: Dict[str, Any] = {}
+        for remaining in range(attempts, 0, -1):
+            info = self.run(run_id)
+            if info["state"] in terminal:
+                return info
+            if remaining > 1:
+                time.sleep(self.poll_seconds)
+        raise ServiceError(
+            409, f"run {run_id} still {info.get('state')} after {attempts} polls"
+        )
+
+    # ------------------------------------------------------------------
+    # SSE
+    # ------------------------------------------------------------------
+    def events(
+        self, run_id: str, last_event_id: Optional[int] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream a run's SSE events as parsed documents.
+
+        Yields ``{"event": ..., "id": ..., "data": {...}}`` per frame
+        (keepalive comments are skipped) and returns when the server
+        ends the stream after a terminal ``state`` event.
+        """
+        connection = http.client.HTTPConnection(self.host, self.port)
+        try:
+            headers = {"Accept": "text/event-stream"}
+            if last_event_id is not None:
+                headers["Last-Event-ID"] = str(last_event_id)
+            connection.request("GET", f"/runs/{run_id}/events", headers=headers)
+            response = connection.getresponse()
+            if response.status >= 400:
+                message = response.read().decode("utf-8", "replace").strip()
+                raise ServiceError(response.status, message)
+            event: Dict[str, Any] = {}
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line:
+                    if "data" in event:
+                        event["data"] = json.loads(event["data"])
+                        yield event
+                    event = {}
+                    continue
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                name, _, value = line.partition(":")
+                value = value[1:] if value.startswith(" ") else value
+                if name == "id":
+                    event["id"] = int(value)
+                else:
+                    event[name] = value
+        finally:
+            connection.close()

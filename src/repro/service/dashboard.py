@@ -1,0 +1,133 @@
+"""The single-file live dashboard served on ``GET /``.
+
+One self-contained HTML document — inline CSS, vanilla JS, zero
+external assets — so the service stays stdlib-only end to end.  The
+page polls ``GET /runs`` for the table and opens one ``EventSource``
+per non-terminal run against ``GET /runs/{id}/events``, so epoch
+progress, population and quality tick live without a refresh.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """\
+<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro service</title>
+<style>
+  body { font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 2rem; background: #14161a; color: #d8dee9; }
+  h1 { font-size: 1.1rem; font-weight: 600; }
+  h1 .sub { color: #6c7686; font-weight: 400; }
+  table { border-collapse: collapse; width: 100%; margin-top: 1rem; }
+  th, td { text-align: left; padding: .35rem .75rem;
+           border-bottom: 1px solid #2a2f38; font-size: .85rem; }
+  th { color: #6c7686; font-weight: 600; }
+  td.num { text-align: right; font-variant-numeric: tabular-nums; }
+  .state { padding: .1rem .5rem; border-radius: .6rem; font-size: .75rem; }
+  .state.queued    { background: #2a2f38; color: #9aa4b2; }
+  .state.running   { background: #1d3a2f; color: #69d49b; }
+  .state.paused    { background: #3a331d; color: #d4b869; }
+  .state.done      { background: #1d2c3a; color: #69a8d4; }
+  .state.failed    { background: #3a1d1d; color: #d46969; }
+  .state.cancelled { background: #2a2f38; color: #6c7686; }
+  .bar { background: #2a2f38; border-radius: .25rem; height: .5rem;
+         width: 10rem; overflow: hidden; }
+  .bar > div { background: #69d49b; height: 100%; width: 0; }
+  .empty { color: #6c7686; margin-top: 2rem; }
+  a { color: #69a8d4; }
+</style>
+</head>
+<body>
+<h1>repro service <span class="sub">&mdash; hosted provisioning runs</span></h1>
+<div id="content"><p class="empty">loading&hellip;</p></div>
+<script>
+"use strict";
+const runs = new Map();    // id -> latest info document
+const streams = new Map(); // id -> EventSource
+const TERMINAL = new Set(["done", "failed", "cancelled"]);
+
+function fmt(v, digits) {
+  return (v === null || v === undefined) ? "&ndash;"
+       : Number(v).toFixed(digits === undefined ? 0 : digits);
+}
+
+function render() {
+  const el = document.getElementById("content");
+  if (runs.size === 0) {
+    el.innerHTML = '<p class="empty">no runs yet &mdash; ' +
+      'submit one with <code>repro submit</code> or POST /runs</p>';
+    return;
+  }
+  let html = "<table><tr><th>id</th><th>name</th><th>kind</th>" +
+    "<th>state</th><th>progress</th><th>epoch</th><th>population</th>" +
+    "<th>quality</th><th>$/h</th><th>result</th></tr>";
+  for (const id of Array.from(runs.keys()).sort()) {
+    const r = runs.get(id);
+    const pct = r.epochs_total ? 100 * r.epoch / r.epochs_total : 0;
+    html += "<tr><td>" + id + "</td><td>" + (r.name || "&ndash;") +
+      "</td><td>" + r.kind + "</td>" +
+      '<td><span class="state ' + r.state + '">' + r.state + "</span>" +
+      (r.error ? " <small>" + r.error + "</small>" : "") + "</td>" +
+      '<td><div class="bar"><div style="width:' + pct + '%"></div></div></td>' +
+      '<td class="num">' + r.epoch + "/" + (r.epochs_total || "?") + "</td>" +
+      '<td class="num">' + fmt(r.population) + "</td>" +
+      '<td class="num">' + fmt(r.quality, 4) + "</td>" +
+      '<td class="num">' + fmt(r.vm_cost_per_hour, 2) + "</td>" +
+      "<td>" + (r.state === "done"
+        ? '<a href="/runs/' + id + '/result">json</a>' : "&ndash;") +
+      "</td></tr>";
+  }
+  el.innerHTML = html + "</table>";
+}
+
+function watch(id) {
+  if (streams.has(id)) return;
+  const source = new EventSource("/runs/" + id + "/events");
+  streams.set(id, source);
+  source.addEventListener("epoch", (e) => {
+    const d = JSON.parse(e.data);
+    const r = runs.get(id);
+    if (!r) return;
+    r.epoch = d.index;
+    r.population = d.population;
+    r.quality = d.quality;
+    r.vm_cost_per_hour = d.vm_cost_per_hour;
+    render();
+  });
+  source.addEventListener("state", (e) => {
+    const d = JSON.parse(e.data);
+    runs.set(id, Object.assign(runs.get(id) || {}, d));
+    if (TERMINAL.has(d.state)) { source.close(); streams.delete(id); }
+    render();
+  });
+  source.onerror = () => { source.close(); streams.delete(id); };
+}
+
+async function refresh() {
+  try {
+    const listed = await (await fetch("/runs")).json();
+    for (const info of listed.runs) {
+      runs.set(info.id, Object.assign(runs.get(info.id) || {}, info));
+      if (!TERMINAL.has(info.state)) watch(info.id);
+    }
+    for (const id of Array.from(runs.keys())) {
+      if (!listed.runs.some((r) => r.id === id)) {
+        runs.delete(id);
+        const s = streams.get(id);
+        if (s) { s.close(); streams.delete(id); }
+      }
+    }
+    render();
+  } catch (err) { /* server away; retry on the next tick */ }
+}
+
+refresh();
+setInterval(refresh, 3000);
+</script>
+</body>
+</html>
+"""

@@ -881,6 +881,10 @@ class ShardedSimulator:
         if self._closed:
             return
         self._closed = True
+        self._stop_workers()
+
+    def _stop_workers(self) -> None:
+        """Stop workers, close pipes and unlink the shm segment."""
         for conn in self._conns:
             try:
                 conn.send(("stop",))
@@ -898,6 +902,39 @@ class ShardedSimulator:
         if self._segment is not None:
             self._segment.close()
             self._segment = None
+
+    def suspend(self) -> None:
+        """Park the run between epochs (idempotent; no-op when closed
+        or not yet started).
+
+        Gathers the live shard simulators into the parent and releases
+        the worker processes and the shared-memory epoch plane — a
+        paused run then holds no OS resources beyond its own heap.  The
+        next :meth:`advance_epoch` (or :meth:`snapshot_state`)
+        transparently respawns workers from the parked shards; results
+        are byte-identical either way, exactly like a checkpoint/resume
+        round-trip through :mod:`repro.api`.
+        """
+        if self._closed or not self._started:
+            return
+        shards = self._gather_shards()
+        self._stop_workers()
+        self._shards = None
+        self._layout = None
+        self._restored_shards = shards
+        self._started = False
+
+    @property
+    def shm_segment_name(self) -> Optional[str]:
+        """Name of the live ``/dev/shm`` epoch segment (``None`` when
+        serial, suspended, unstarted or closed).
+
+        A supervising host records this so the segment of a SIGKILLed
+        parent — the one teardown ``close()`` cannot cover — can be
+        reclaimed on restart via
+        :func:`repro.sim.shm.unlink_stale_segment`.
+        """
+        return self._segment.name if self._segment is not None else None
 
     # ------------------------------------------------------------------
     def _start(self) -> None:

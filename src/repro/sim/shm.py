@@ -62,6 +62,7 @@ __all__ = [
     "EpochShmLayout",
     "ParentSegment",
     "attach_segment",
+    "unlink_stale_segment",
     "SCALAR_I64",
     "SCALAR_F64",
     "STEP_SERIES_F64",
@@ -233,6 +234,30 @@ class ParentSegment:
             self.close()
         except Exception:
             pass
+
+
+def unlink_stale_segment(name: str) -> bool:
+    """Reclaim a segment orphaned by a SIGKILLed parent process.
+
+    ``ParentSegment.close()`` covers every in-process teardown path,
+    but nothing can run inside a parent that got SIGKILLed — its
+    ``/dev/shm`` entry survives until someone unlinks it.  The service
+    host records its runs' segment names in the state dir exactly so
+    its restart can call this janitor; by then the workers are gone
+    too (their control pipes hit EOF when the parent died), so the
+    unlink here is the segment's last reference.
+
+    Returns ``True`` if a segment by that name existed and was
+    unlinked, ``False`` if it was already gone.
+    """
+    try:
+        # lint: allow[RES001] crash-recovery janitor: successor runs the parent-owned unlink
+        stale = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    stale.close()
+    stale.unlink()
+    return True
 
 
 def attach_segment(name: str) -> shared_memory.SharedMemory:
